@@ -1,0 +1,32 @@
+"""Shared scale for the benchmark targets.
+
+Benchmarks drive the same experiment modules as ``python -m repro.bench``
+but at a reduced scale so the whole suite stays fast.  Each target runs
+its experiment once (``rounds=1``) — the measured quantity is the wall
+time of reproducing the paper's table/figure, and the assertions are the
+experiment's qualitative shape checks.
+"""
+
+import pytest
+
+from repro.bench.workloads import Scale
+
+BENCH_SCALE = Scale(n_vertices=250, n_edges=1250, n_points=160,
+                    n_instances=320, dim=6, k=3)
+
+
+@pytest.fixture
+def scale():
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+def assert_checks(result):
+    failing = [str(check) for check in result.checks if not check.passed]
+    assert not failing, "\n".join(["shape checks failed:"] + failing
+                                  + ["", result.table()])

@@ -1,0 +1,21 @@
+"""Ablation bench targets: fork activation, sampling, storage backend."""
+
+from benchmarks.conftest import assert_checks, run_once
+from repro.bench.ablations import (run_ablation_activation,
+                                   run_ablation_sampling,
+                                   run_ablation_storage)
+
+
+def test_ablation_fork_activation(benchmark, scale):
+    result = run_once(benchmark, run_ablation_activation, scale)
+    assert_checks(result)
+
+
+def test_ablation_sampling_discipline(benchmark, scale):
+    result = run_once(benchmark, run_ablation_sampling, scale)
+    assert_checks(result)
+
+
+def test_ablation_storage_backend(benchmark, scale):
+    result = run_once(benchmark, run_ablation_storage, scale)
+    assert_checks(result)

@@ -1,0 +1,16 @@
+"""Bench targets for Figure 5: batch vs approximate latency."""
+
+import pytest
+
+from benchmarks.conftest import assert_checks, run_once
+from repro.bench import run_fig5
+
+
+@pytest.mark.parametrize("workload", ["sssp", "pagerank", "kmeans"])
+def test_fig5(benchmark, scale, workload):
+    result = run_once(benchmark, run_fig5, workload, scale,
+                      max_queries=6)
+    assert_checks(result)
+    # One row per batch size plus the approximate series.
+    assert sum(1 for row in result.rows
+               if row["method"] == "approximate") == 1

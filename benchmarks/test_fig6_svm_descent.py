@@ -1,0 +1,16 @@
+"""Bench targets for Figure 6: SVM approximation error and branch time."""
+
+from benchmarks.conftest import assert_checks, run_once
+from repro.bench import run_fig6a, run_fig6b
+
+
+def test_fig6a_approximation_error(benchmark, scale):
+    result = run_once(benchmark, run_fig6a, scale, duration=3.0)
+    assert_checks(result)
+    assert len(result.rows) > 4
+
+
+def test_fig6b_branch_running_time(benchmark, scale):
+    result = run_once(benchmark, run_fig6b, scale,
+                      fork_times=(1.0, 1.8, 2.6))
+    assert_checks(result)

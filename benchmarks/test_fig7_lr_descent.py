@@ -1,0 +1,16 @@
+"""Bench targets for Figure 7: LR static vs dynamic descent rates."""
+
+from benchmarks.conftest import assert_checks, run_once
+from repro.bench import run_fig7a, run_fig7b
+
+
+def test_fig7a_static_rates(benchmark, scale):
+    result = run_once(benchmark, run_fig7a, scale, duration=3.0)
+    assert_checks(result)
+    rates = {row["rate"] for row in result.rows}
+    assert len(rates) == 3
+
+
+def test_fig7b_bold_driver(benchmark, scale):
+    result = run_once(benchmark, run_fig7b, scale, duration=3.0)
+    assert_checks(result)

@@ -1,0 +1,25 @@
+"""Bench targets for Figure 8: asynchronism, stragglers and failures."""
+
+from benchmarks.conftest import assert_checks, run_once
+from repro.bench import run_failure_figure, run_fig8a, run_fig8b
+
+
+def test_fig8a_time_per_iteration(benchmark, scale):
+    result = run_once(benchmark, run_fig8a, scale)
+    assert_checks(result)
+    assert {row["delay_bound"] for row in result.rows} >= {1, 65536}
+
+
+def test_fig8b_stragglers(benchmark, scale):
+    result = run_once(benchmark, run_fig8b, scale, duration=2.5)
+    assert_checks(result)
+
+
+def test_fig8c_master_failure(benchmark, scale):
+    result = run_once(benchmark, run_failure_figure, "master", scale)
+    assert_checks(result)
+
+
+def test_fig8d_processor_failure(benchmark, scale):
+    result = run_once(benchmark, run_failure_figure, "processor", scale)
+    assert_checks(result)

@@ -1,0 +1,11 @@
+"""Bench target for Figure 9: scalability."""
+
+from benchmarks.conftest import assert_checks, run_once
+from repro.bench import run_fig9
+
+
+def test_fig9_scalability(benchmark, scale):
+    result = run_once(benchmark, run_fig9, scale, workers=(2, 4, 8))
+    assert_checks(result)
+    assert {row["workload"] for row in result.rows} == {
+        "sssp", "pagerank", "kmeans", "svm"}

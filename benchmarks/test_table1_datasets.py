@@ -1,0 +1,10 @@
+"""Bench target for Table 1: dataset generation."""
+
+from benchmarks.conftest import assert_checks, run_once
+from repro.bench import run_table1
+
+
+def test_table1_datasets(benchmark, scale):
+    result = run_once(benchmark, run_table1, scale)
+    assert_checks(result)
+    assert len(result.rows) == 4

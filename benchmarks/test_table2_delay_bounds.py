@@ -1,0 +1,11 @@
+"""Bench target for Table 2: loop summaries per delay bound."""
+
+from benchmarks.conftest import assert_checks, run_once
+from repro.bench import run_table2
+
+
+def test_table2_delay_bounds(benchmark, scale):
+    result = run_once(benchmark, run_table2, scale)
+    assert_checks(result)
+    bounds = [row["delay_bound"] for row in result.rows]
+    assert bounds == [1, 256, 65536]

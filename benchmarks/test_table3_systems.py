@@ -1,0 +1,10 @@
+"""Bench target for Table 3: system comparison."""
+
+from benchmarks.conftest import assert_checks, run_once
+from repro.bench import run_table3
+
+
+def test_table3_systems(benchmark, scale):
+    result = run_once(benchmark, run_table3, scale)
+    assert_checks(result)
+    assert len(result.rows) == 16  # 4 workloads x 4 percentages

@@ -1,0 +1,12 @@
+"""Tornado (SIGMOD 2016) reproduction.
+
+Real-time iterative analysis over evolving data: a main loop maintains an
+approximation of the answer while the stream evolves; branch loops fork
+from it on demand and run the exact method to its fixed point, converging
+quickly because they start near it.  See :mod:`repro.core` for the
+execution model and the README for a tour.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

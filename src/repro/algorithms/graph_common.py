@@ -1,0 +1,39 @@
+"""Shared pieces for graph workloads: edge routing and payload shapes.
+
+Graph streams carry ``(u, v)`` or ``(u, v, w)`` edge payloads; the router
+turns each stream tuple into per-vertex deltas (the producer endpoint learns
+about its new/removed out-edge).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.vertex import Delta
+from repro.streams.model import ADD_EDGE, REMOVE_EDGE, StreamTuple
+
+
+def edge_parts(payload: Any) -> tuple[Any, Any, float]:
+    """Split an edge payload into (source, target, weight)."""
+    if len(payload) == 3:
+        u, v, w = payload
+        return u, v, float(w)
+    u, v = payload
+    return u, v, 1.0
+
+
+class EdgeStreamRouter:
+    """Routes edge tuples to the source endpoint (and, for undirected
+    graphs, to both endpoints)."""
+
+    def __init__(self, undirected: bool = False) -> None:
+        self.undirected = undirected
+
+    def route(self, tup: StreamTuple) -> Iterable[tuple[Any, Delta]]:
+        if tup.kind not in (ADD_EDGE, REMOVE_EDGE):
+            return
+        u, v, w = edge_parts(tup.payload)
+        kind = tup.kind if tup.weight > 0 else REMOVE_EDGE
+        yield u, Delta(kind, (u, v, w), tup.weight)
+        if self.undirected:
+            yield v, Delta(kind, (v, u, w), tup.weight)

@@ -1,0 +1,212 @@
+"""KMeans (Lloyd's algorithm) over a point stream.
+
+Topology: K ``centroid`` vertices and ``n_shards`` shard vertices holding
+the points.  Centroids scatter their positions; each shard re-assigns *all*
+of its points and scatters per-centroid partial sums; centroids recompute
+their means.  The full rescan is intrinsic to KMeans — which is why the
+main loop's approximation barely helps this workload (paper Fig. 5c): the
+per-iteration cost is proportional to the number of points regardless of
+how good the initial centroids are.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.core.vertex import Delta, VertexContext, VertexProgram
+from repro.streams.model import ADD_POINT, StreamTuple
+
+SEED_CENTROID = "seed_centroid"
+
+
+def centroid_id(index: int) -> tuple[str, int]:
+    return ("centroid", index)
+
+
+def shard_id(index: int) -> tuple[str, int]:
+    return ("shard", index)
+
+
+@dataclass
+class CentroidValue:
+    position: np.ndarray
+    partials: dict[Any, tuple[np.ndarray, int]] = field(default_factory=dict)
+
+
+@dataclass
+class ShardValue:
+    points: list[np.ndarray] = field(default_factory=list)
+    centroids: dict[Any, np.ndarray] = field(default_factory=dict)
+    pending_inputs: int = 0
+
+
+class KMeansProgram(VertexProgram):
+    """Distributed Lloyd iterations with tolerance-based quiescence."""
+
+    def __init__(self, k: int, n_shards: int, dim: int,
+                 tolerance: float = 1e-3, input_batch: int = 16,
+                 point_cost: float = 5e-7) -> None:
+        if k < 1 or n_shards < 1:
+            raise ValueError("k and n_shards must be >= 1")
+        self.k = k
+        self.n_shards = n_shards
+        self.dim = dim
+        self.tolerance = tolerance
+        self.input_batch = input_batch
+        self.point_cost = point_cost
+
+    def init(self, ctx: VertexContext) -> None:
+        tag, _index = ctx.vertex_id
+        if tag == "centroid":
+            ctx.value = CentroidValue(position=np.zeros(self.dim))
+            for index in range(self.n_shards):
+                ctx.add_target(shard_id(index))
+        else:
+            ctx.value = ShardValue()
+            for index in range(self.k):
+                ctx.add_target(centroid_id(index))
+
+    # --------------------------------------------------------------- gather
+    def gather(self, ctx: VertexContext, source: Any, delta: Any) -> bool:
+        tag, _index = ctx.vertex_id
+        if tag == "centroid":
+            return self._gather_centroid(ctx, source, delta)
+        return self._gather_shard(ctx, source, delta)
+
+    def _gather_centroid(self, ctx: VertexContext, source: Any,
+                         delta: Any) -> bool:
+        value: CentroidValue = ctx.value
+        if source is None:
+            if delta.kind == SEED_CENTROID:
+                value.position = np.asarray(delta.payload, dtype=float)
+                return True
+            return False
+        partial_sum, count = delta
+        value.partials[source] = (np.asarray(partial_sum), int(count))
+        total = sum(count for _s, count in value.partials.values())
+        if total == 0:
+            return False
+        mean = sum(np.asarray(s) for s, _c in value.partials.values()) / total
+        moved = float(np.linalg.norm(mean - value.position))
+        if moved > self.tolerance:
+            value.position = mean
+            return True
+        return False
+
+    def _gather_shard(self, ctx: VertexContext, source: Any,
+                      delta: Any) -> bool:
+        value: ShardValue = ctx.value
+        if source is None:
+            if delta.kind != ADD_POINT:
+                return False
+            value.points.append(np.asarray(delta.payload, dtype=float))
+            value.pending_inputs += 1
+            if value.pending_inputs >= self.input_batch:
+                value.pending_inputs = 0
+                return bool(value.centroids)
+            return False
+        value.centroids[source] = np.asarray(delta)
+        return bool(value.points)
+
+    # -------------------------------------------------------------- scatter
+    def scatter(self, ctx: VertexContext) -> None:
+        tag, _index = ctx.vertex_id
+        if tag == "centroid":
+            ctx.emit_all(ctx.value.position.copy())
+            return
+        value: ShardValue = ctx.value
+        if not value.centroids or not value.points:
+            return
+        ids = sorted(value.centroids)
+        matrix = np.stack([value.centroids[c] for c in ids])
+        points = np.stack(value.points)
+        # Assign every point to its nearest centroid (the full rescan).
+        distances = ((points[:, None, :] - matrix[None, :, :]) ** 2).sum(
+            axis=2)
+        nearest = distances.argmin(axis=1)
+        for slot, cid in enumerate(ids):
+            mask = nearest == slot
+            count = int(mask.sum())
+            total = (points[mask].sum(axis=0) if count
+                     else np.zeros(self.dim))
+            ctx.emit(cid, (total, count))
+
+    # ----------------------------------------------------------------- cost
+    def gather_cost(self, ctx: VertexContext, source: Any,
+                    delta: Any) -> float | None:
+        tag, _index = ctx.vertex_id
+        if tag == "shard" and source is not None:
+            # Receiving a centroid position triggers the full rescan.
+            return 5e-6 + self.point_cost * len(ctx.value.points) * self.dim
+        return None
+
+    def activate_on_fork(self, ctx: VertexContext,
+                         recently_updated: bool) -> bool:
+        # Every branch iteration rescans anyway; anchor on the centroids.
+        tag, _index = ctx.vertex_id
+        return tag == "centroid" or recently_updated
+
+    def snapshot_value(self, value: Any) -> Any:
+        """Structural copy sharing the immutable point arrays."""
+        if isinstance(value, CentroidValue):
+            return CentroidValue(value.position.copy(),
+                                 {s: (p.copy(), c)
+                                  for s, (p, c) in value.partials.items()})
+        if isinstance(value, ShardValue):
+            return ShardValue(list(value.points),
+                              {c: p.copy()
+                               for c, p in value.centroids.items()},
+                              value.pending_inputs)
+        return copy.deepcopy(value)
+
+
+class PointRouter:
+    """Routes points round-robin to shards; seeds the centroids once."""
+
+    def __init__(self, k: int, n_shards: int,
+                 initial_centroids: list) -> None:
+        if len(initial_centroids) != k:
+            raise ValueError("need exactly k initial centroids")
+        self.k = k
+        self.n_shards = n_shards
+        self.initial_centroids = [np.asarray(c, dtype=float)
+                                  for c in initial_centroids]
+        self._next = 0
+        self._seeded = False
+
+    def route(self, tup: StreamTuple) -> Iterable[tuple[Any, Delta]]:
+        if tup.kind != ADD_POINT:
+            return
+        if not self._seeded:
+            self._seeded = True
+            for index, position in enumerate(self.initial_centroids):
+                yield centroid_id(index), Delta(SEED_CENTROID, position)
+        target = shard_id(self._next % self.n_shards)
+        self._next += 1
+        yield target, Delta(ADD_POINT, tup.payload, tup.weight)
+
+
+def reference_kmeans(points: list, initial_centroids: list,
+                     iterations: int = 100,
+                     tolerance: float = 1e-6) -> np.ndarray:
+    """Plain Lloyd's algorithm — the oracle for tests and benches."""
+    data = np.stack([np.asarray(p, dtype=float) for p in points])
+    centroids = np.stack([np.asarray(c, dtype=float)
+                          for c in initial_centroids])
+    for _ in range(iterations):
+        distances = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(
+            axis=2)
+        nearest = distances.argmin(axis=1)
+        updated = centroids.copy()
+        for slot in range(len(centroids)):
+            mask = nearest == slot
+            if mask.any():
+                updated[slot] = data[mask].mean(axis=0)
+        if np.linalg.norm(updated - centroids) < tolerance:
+            return updated
+        centroids = updated
+    return centroids

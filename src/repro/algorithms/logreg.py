@@ -1,0 +1,22 @@
+"""Logistic regression workload: SGD with logistic loss (paper Table 1,
+PubMed relevance prediction)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algorithms.schedules import BoldDriver, DescentSchedule
+from repro.algorithms.sgd import InstanceRouter, LogisticLoss, SGDProgram
+from repro.core.vertex import Application
+
+
+def logreg_application(dim: int, n_samplers: int = 4, l2: float = 1e-4,
+                       schedule_factory: Callable[[], DescentSchedule]
+                       | None = None,
+                       **sgd_kwargs) -> Application:
+    """Build a ready-to-run LR application."""
+    if schedule_factory is None:
+        schedule_factory = lambda: BoldDriver(0.1)  # noqa: E731
+    program = SGDProgram(LogisticLoss(l2=l2), dim, n_samplers,
+                         schedule_factory, **sgd_kwargs)
+    return Application(program, InstanceRouter(n_samplers), name="logreg")

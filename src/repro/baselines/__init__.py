@@ -1,0 +1,33 @@
+"""Baseline systems: batch engines, a Naiad-like incremental engine, and
+mini-batch runners — the comparators of the paper's evaluation."""
+
+from repro.baselines.engines import (BatchEngine, EngineCosts, EngineRun,
+                                     MemoryBudgetExceeded, NaiadLikeEngine,
+                                     graphlab_like, spark_like)
+from repro.baselines.parameter_server import SSPParameterServer, SSPStats
+from repro.baselines.minibatch import (EpochResult, MiniBatchCosts,
+                                       MiniBatchRunner)
+from repro.baselines.solvers import (GradientDescentSolver, KMeansSolver,
+                                     PageRankSolver, Solver, SSSPSolver,
+                                     WorkStats)
+
+__all__ = [
+    "BatchEngine",
+    "EngineCosts",
+    "EngineRun",
+    "EpochResult",
+    "GradientDescentSolver",
+    "KMeansSolver",
+    "MemoryBudgetExceeded",
+    "MiniBatchCosts",
+    "MiniBatchRunner",
+    "NaiadLikeEngine",
+    "PageRankSolver",
+    "SSPParameterServer",
+    "SSPStats",
+    "Solver",
+    "SSSPSolver",
+    "WorkStats",
+    "graphlab_like",
+    "spark_like",
+]

@@ -1,0 +1,80 @@
+"""Mini-batch incremental processing (the "Batch,N" series of Figure 5).
+
+Processes the stream in epochs of ``batch_size`` tuples; each epoch's
+results are computed by warm-starting the solver from the previous epoch's
+fixed point.  Per-epoch latency combines the incremental compute work with
+a communication floor: the updated vertices are randomly distributed over
+the cluster, so the number of messages — and hence a latency floor — does
+not shrink with the batch (the paper's explanation for why latencies stop
+improving below ~1M-edge batches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.baselines.solvers import Solver, WorkStats
+from repro.streams.model import StreamTuple
+
+
+@dataclass
+class EpochResult:
+    epoch: int
+    latency: float
+    stats: WorkStats
+    result: Any
+
+
+@dataclass
+class MiniBatchCosts:
+    update_cost: float = 1e-6
+    scan_cost: float = 2e-7
+    iteration_overhead: float = 2e-3
+    #: Message cost per touched vertex (does not shrink with the batch).
+    message_cost: float = 2e-5
+    #: Fixed round-trip floor per epoch (scheduling + barrier).
+    epoch_floor: float = 5e-2
+
+
+class MiniBatchRunner:
+    """Drives a solver epoch by epoch and records per-epoch latencies."""
+
+    def __init__(self, solver: Solver, batch_size: int,
+                 costs: MiniBatchCosts | None = None) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.solver = solver
+        self.batch_size = batch_size
+        self.costs = costs if costs is not None else MiniBatchCosts()
+        self._solution: Any | None = None
+        self.epochs: list[EpochResult] = []
+
+    def run(self, tuples: list[StreamTuple],
+            warm: bool = True) -> list[EpochResult]:
+        """Process the whole stream; returns one result per epoch."""
+        for start in range(0, len(tuples), self.batch_size):
+            epoch_tuples = tuples[start:start + self.batch_size]
+            self.solver.apply(epoch_tuples)
+            initial = self._solution if warm else None
+            result, stats = self.solver.solve(initial=initial)
+            self._solution = result
+            costs = self.costs
+            latency = (costs.epoch_floor
+                       + stats.updates * costs.update_cost
+                       + stats.scans * costs.scan_cost
+                       + stats.iterations * costs.iteration_overhead
+                       + stats.updates * costs.message_cost)
+            self.epochs.append(EpochResult(len(self.epochs), latency,
+                                           stats, result))
+        return self.epochs
+
+    def latency_percentile(self, percentile: float = 99.0) -> float:
+        """The paper reports 99th-percentile query latency per batch
+        size."""
+        if not self.epochs:
+            return 0.0
+        return float(np.percentile([e.latency for e in self.epochs],
+                                   percentile))

@@ -1,0 +1,152 @@
+"""A stale-synchronous-parallel (SSP) parameter server.
+
+The paper's related work (§7) contrasts Tornado's bounded asynchronous
+iteration with Parameter Servers [Ho et al. NIPS'13; Li et al. OSDI'14]:
+they also bound staleness, but specialise the communication pattern to a
+bipartite worker/server graph, so they cannot run general graph analyses
+(or retractable streams).  This module implements SSP faithfully at the
+algorithm level so the SGD workloads can be compared:
+
+* ``n_workers`` workers each hold a shard of the data;
+* a worker at clock ``c`` may proceed only while the slowest worker is at
+  clock ``> c - staleness``;
+* workers read a (possibly stale) copy of the weights, compute a
+  mini-batch gradient, and push it to the server.
+
+``staleness=0`` is BSP (fully synchronous); larger values overlap
+communication and computation but train on staler weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms.sgd import Instance, Loss
+from repro.streams.model import ADD_INSTANCE, StreamTuple
+
+
+@dataclass
+class SSPStats:
+    clocks: dict[int, int] = field(default_factory=dict)
+    pushes: int = 0
+    waits: int = 0
+    stale_reads: int = 0
+
+
+class SSPParameterServer:
+    """Round-robin simulation of SSP execution.
+
+    The scheduler repeatedly picks the next runnable worker (one not
+    blocked by the staleness bound) in round-robin order; a blocked pick
+    counts as a wait.  With heterogeneous ``worker_speeds``, slow workers
+    hold everyone back under small staleness — the SSP trade-off.
+    """
+
+    def __init__(self, loss: Loss, dim: int, n_workers: int,
+                 staleness: int = 0, rate: float = 0.1,
+                 batch_size: int = 16, seed: int = 0,
+                 worker_speeds: list[float] | None = None) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        if staleness < 0:
+            raise ValueError("staleness must be >= 0")
+        self.loss = loss
+        self.dim = dim
+        self.n_workers = n_workers
+        self.staleness = staleness
+        self.rate = rate
+        self.batch_size = batch_size
+        self.weights = np.zeros(dim)
+        self._shards: list[list[Instance]] = [[] for _ in range(n_workers)]
+        self._worker_weights = [self.weights.copy()
+                                for _ in range(n_workers)]
+        self._clocks = [0] * n_workers
+        self._rng = np.random.default_rng(seed)
+        self.worker_speeds = (list(worker_speeds) if worker_speeds
+                              else [1.0] * n_workers)
+        if len(self.worker_speeds) != n_workers:
+            raise ValueError("need one speed per worker")
+        self._credit = [0.0] * n_workers
+        self.stats = SSPStats()
+        self.virtual_time = 0.0
+
+    # -------------------------------------------------------------- feeding
+    def feed(self, tuples: list[StreamTuple]) -> int:
+        added = 0
+        for tup in tuples:
+            if tup.kind != ADD_INSTANCE:
+                continue
+            shard = added % self.n_workers
+            self._shards[shard].append(tup.payload)
+            added += 1
+        return added
+
+    # ------------------------------------------------------------- running
+    def _runnable(self, worker: int) -> bool:
+        slowest = min(self._clocks)
+        return self._clocks[worker] - slowest <= self.staleness
+
+    def step_worker(self, worker: int) -> bool:
+        """One SSP clock tick for ``worker``; False if blocked."""
+        if not self._shards[worker]:
+            return False
+        if not self._runnable(worker):
+            self.stats.waits += 1
+            return False
+        # Read (possibly stale) weights.
+        if not np.array_equal(self._worker_weights[worker], self.weights):
+            self.stats.stale_reads += 1
+        self._worker_weights[worker] = self.weights.copy()
+        shard = self._shards[worker]
+        picks = self._rng.integers(0, len(shard),
+                                   size=min(self.batch_size, len(shard)))
+        batch = [shard[int(i)] for i in picks]
+        xs = np.stack([inst.x() for inst in batch])
+        ys = np.asarray([inst.label for inst in batch], dtype=float)
+        gradient = self.loss.gradient(self._worker_weights[worker], xs, ys)
+        self.weights = self.weights - self.rate * gradient
+        self._clocks[worker] += 1
+        self.stats.pushes += 1
+        self.virtual_time += 1.0 / self.worker_speeds[worker]
+        return True
+
+    def run_clocks(self, clocks: int) -> np.ndarray:
+        """Run until every worker has advanced ``clocks`` ticks (or is
+        permanently blocked/dataless)."""
+        target = [c + clocks for c in self._clocks]
+        stuck_rounds = 0
+        while any(c < t for c, t in zip(self._clocks, target)):
+            progressed = False
+            for worker in range(self.n_workers):
+                if self._clocks[worker] >= target[worker]:
+                    continue
+                if self.step_worker(worker):
+                    progressed = True
+            if not progressed:
+                stuck_rounds += 1
+                if stuck_rounds > 2:
+                    break
+            else:
+                stuck_rounds = 0
+        self.stats.clocks = {w: c for w, c in enumerate(self._clocks)}
+        return self.weights
+
+    # ------------------------------------------------------------- queries
+    def objective(self) -> float:
+        everything = [inst for shard in self._shards for inst in shard]
+        if not everything:
+            return float("inf")
+        xs = np.stack([inst.x() for inst in everything])
+        ys = np.asarray([inst.label for inst in everything], dtype=float)
+        return self.loss.objective(self.weights, xs, ys)
+
+    def accuracy(self) -> float:
+        everything = [inst for shard in self._shards for inst in shard]
+        if not everything:
+            return 0.0
+        xs = np.stack([inst.x() for inst in everything])
+        ys = np.asarray([inst.label for inst in everything], dtype=float)
+        return float((np.sign(xs @ self.weights) == ys).mean())

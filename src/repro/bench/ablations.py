@@ -1,0 +1,131 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+1. **Fork activation** — queries with the exact in-flight activation set
+   vs full re-activation of every vertex: minimal activation is what makes
+   warm queries cheap.
+2. **Sampling discipline** — SGD with reservoir sampling (uniform over the
+   whole stream, the paper's correctness condition) vs a recency-biased
+   buffer: the biased sampler's branch results fit the recent data but are
+   far from the optimum over *all* data.
+3. **Storage backend** — disk (PostgreSQL-like) vs memory (LMDB-like)
+   flush costs: the synchronous flush-before-progress rule makes branch
+   latency track the backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import HingeLoss, InstanceRouter, SGDProgram, \
+    StaticRate
+from repro.algorithms.sgd import PARAM
+from repro.bench.harness import ExperimentResult, percentile
+from repro.bench.workloads import (SMALL, Scale, base_config, sssp_bundle)
+from repro.core import Application, TornadoJob
+from repro.datagen import higgs_like
+from repro.streams import UniformRate, instance_stream
+
+
+def run_ablation_activation(scale: Scale = SMALL,
+                            n_queries: int = 5) -> ExperimentResult:
+    """Minimal (in-flight) vs full fork activation."""
+    result = ExperimentResult(
+        experiment="ablation-activation",
+        title="Branch fork activation: minimal (in-flight) vs full",
+        columns=["activation", "p99_latency_s", "mean_branch_updates"],
+    )
+    stats: dict[str, tuple[float, float]] = {}
+    for label, full in (("minimal", False), ("full", True)):
+        bundle = sssp_bundle(scale, report_interval=0.01)
+        job = bundle.job
+        job.feed(bundle.stream)
+        step = len(bundle.stream) // (n_queries + 1)
+        latencies, updates = [], []
+        for index in range(1, n_queries + 1):
+            job.run_until(lambda c=index * step:
+                          job.ingester.tuples_ingested >= c)
+            job.run_for(0.05)
+            outcome = job.wait_for_query(job.query(full_activation=full))
+            record = job.branch_record(outcome.query_id)
+            latencies.append(outcome.latency)
+            updates.append(job.loop_totals(record.loop)["commits"])
+        stats[label] = (percentile(latencies), float(np.mean(updates)))
+        result.add_row(activation=label, p99_latency_s=stats[label][0],
+                       mean_branch_updates=stats[label][1])
+    result.check(
+        "minimal activation does far less branch work",
+        stats["minimal"][1] < stats["full"][1] * 0.5,
+        f"minimal={stats['minimal'][1]:.0f} full={stats['full'][1]:.0f}"
+        " updates")
+    result.check(
+        "minimal activation is at least as fast",
+        stats["minimal"][0] <= stats["full"][0] * 1.1,
+        f"minimal={stats['minimal'][0]:.4f}s full={stats['full'][0]:.4f}s")
+    return result
+
+
+def run_ablation_sampling(scale: Scale = SMALL,
+                          duration: float = 2.5) -> ExperimentResult:
+    """Reservoir vs recency-biased sampling under SGD (paper §3.2)."""
+    result = ExperimentResult(
+        experiment="ablation-sampling",
+        title="SGD sampling: reservoir (uniform) vs recency-biased",
+        columns=["sampler", "full_data_objective"],
+    )
+    instances, _w = higgs_like(scale.n_instances, dim=scale.dim,
+                               seed=scale.seed + 3, noise=0.1, drift=1.2)
+    xs = np.stack([inst.x() for inst in instances])
+    ys = np.asarray([inst.label for inst in instances], dtype=float)
+    loss = HingeLoss(l2=1e-3)
+    objectives: dict[str, float] = {}
+    for label, use_reservoir in (("reservoir", True), ("recency", False)):
+        program = SGDProgram(loss, scale.dim, 4,
+                             lambda: StaticRate(0.1), batch_size=16,
+                             reservoir_capacity=64, input_batch=8,
+                             tolerance=3e-3, use_reservoir=use_reservoir)
+        app = Application(program, InstanceRouter(4), name="ablation")
+        job = TornadoJob(app, base_config(report_interval=0.01))
+        job.feed(instance_stream(instances,
+                                 UniformRate(scale.stream_rate)))
+        job.run_for(duration)
+        outcome = job.query_and_wait()
+        weights = outcome.values[PARAM].weights
+        objectives[label] = loss.objective(weights, xs, ys)
+        result.add_row(sampler=label,
+                       full_data_objective=objectives[label])
+    result.check(
+        "uniform sampling fits the whole stream better",
+        objectives["reservoir"] <= objectives["recency"] * 1.05,
+        f"reservoir={objectives['reservoir']:.4f} "
+        f"recency={objectives['recency']:.4f}")
+    return result
+
+
+def run_ablation_storage(scale: Scale = SMALL,
+                         n_queries: int = 4) -> ExperimentResult:
+    """Disk vs in-memory storage backend under identical workloads."""
+    result = ExperimentResult(
+        experiment="ablation-storage",
+        title="Storage backend: disk vs memory flush costs",
+        columns=["backend", "p99_latency_s"],
+    )
+    latencies: dict[str, float] = {}
+    for backend in ("disk", "memory"):
+        bundle = sssp_bundle(scale, storage_backend=backend,
+                             report_interval=0.01)
+        job = bundle.job
+        job.feed(bundle.stream)
+        step = len(bundle.stream) // (n_queries + 1)
+        per_query = []
+        for index in range(1, n_queries + 1):
+            job.run_until(lambda c=index * step:
+                          job.ingester.tuples_ingested >= c)
+            job.run_for(0.05)
+            per_query.append(job.query_and_wait().latency)
+        latencies[backend] = percentile(per_query)
+        result.add_row(backend=backend, p99_latency_s=latencies[backend])
+    result.check(
+        "disk-backed flushes cost more than memory",
+        latencies["disk"] > latencies["memory"],
+        f"disk={latencies['disk']:.4f}s memory={latencies['memory']:.4f}s")
+    return result

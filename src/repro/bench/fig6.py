@@ -1,0 +1,93 @@
+"""Figure 6: approximation error vs adaptation rate (SVM).
+
+6a — the main loop's approximation error over time for two static descent
+rates: the large rate (0.5) adapts fast but settles at a *higher* error;
+the small rate (0.1) reaches a lower steady-state error.
+
+6b — running time of branch loops forked at several instants: branches
+from the low-error (rate 0.1) main loop finish faster than from the 0.5
+loop, and both beat the batch configuration, whose branches start from
+stale epoch results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import HingeLoss, StaticRate
+from repro.bench.harness import ExperimentResult
+from repro.bench.sgd_probe import probe_main_loop, steady_state_error
+from repro.bench.workloads import SMALL, Scale, svm_bundle
+
+LOSS = HingeLoss(l2=1e-3)
+
+
+def run_fig6a(scale: Scale = SMALL, rates: tuple[float, ...] = (0.5, 0.1),
+              duration: float = 4.0, dt: float = 0.25,
+              drift: float = 0.6) -> ExperimentResult:
+    """Main-loop approximation error over time per descent rate."""
+    result = ExperimentResult(
+        experiment="fig6a",
+        title="SVM main-loop approximation error vs descent rate",
+        columns=["rate", "time_s", "error"],
+    )
+    steady: dict[float, float] = {}
+    for rate in rates:
+        bundle = svm_bundle(scale, drift=drift,
+                            schedule_factory=lambda r=rate: StaticRate(r))
+        samples = probe_main_loop(bundle, LOSS, scale.dim, duration, dt)
+        for sample in samples:
+            result.add_row(rate=rate, time_s=round(sample.time, 3),
+                           error=sample.error)
+        steady[rate] = steady_state_error(samples)
+    big, small = max(rates), min(rates)
+    result.check(
+        f"small rate ({small}) reaches lower steady error than {big}",
+        steady[small] <= steady[big],
+        f"steady errors: {small}->{steady[small]:.4g}, "
+        f"{big}->{steady[big]:.4g}")
+    result.notes = (f"steady-state errors: "
+                    + ", ".join(f"rate {r}: {steady[r]:.4g}"
+                                for r in rates))
+    return result
+
+
+def run_fig6b(scale: Scale = SMALL, rates: tuple[float, ...] = (0.5, 0.1),
+              fork_times: tuple[float, ...] = (1.5, 2.5, 3.5),
+              drift: float = 0.6) -> ExperimentResult:
+    """Branch-loop running time when forked at several instants."""
+    result = ExperimentResult(
+        experiment="fig6b",
+        title="SVM branch-loop running time vs fork instant",
+        columns=["method", "fork_time_s", "branch_latency_s"],
+    )
+    mean_latency: dict[str, float] = {}
+    configs: list[tuple[str, dict, float | None]] = [
+        (f"rate={rate}", {}, rate) for rate in rates]
+    configs.append(("batch", {"main_loop_mode": "batch",
+                              "merge_policy": "always"}, min(rates)))
+    for label, overrides, rate in configs:
+        bundle = svm_bundle(
+            scale, drift=drift,
+            schedule_factory=lambda r=rate: StaticRate(r), **overrides)
+        job = bundle.job
+        job.feed(bundle.stream)
+        latencies = []
+        for fork_time in fork_times:
+            job.run(until=fork_time)
+            query = job.query_and_wait()
+            latencies.append(query.latency)
+            result.add_row(method=label, fork_time_s=fork_time,
+                           branch_latency_s=query.latency)
+        mean_latency[label] = float(np.mean(latencies))
+    result.check(
+        "low-rate branches beat high-rate branches",
+        mean_latency[f"rate={min(rates)}"]
+        <= mean_latency[f"rate={max(rates)}"] * 1.25,
+        str({k: round(v, 4) for k, v in mean_latency.items()}))
+    result.check(
+        "batch branches are the slowest",
+        mean_latency["batch"] >= max(
+            mean_latency[f"rate={r}"] for r in rates),
+        str({k: round(v, 4) for k, v in mean_latency.items()}))
+    return result

@@ -1,0 +1,78 @@
+"""Probing utilities for the SGD experiments (Figures 6 and 7).
+
+The paper plots *approximation error* of the main loop over time: how far
+the main loop's model is from the optimum for the inputs seen so far.  The
+probe pauses the simulation every ``dt`` virtual seconds, reads the param
+vertex, and compares its objective on the ingested prefix against the
+prefix's optimum (computed by a warm-started batch solver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.sgd import PARAM, Loss
+from repro.baselines.solvers import GradientDescentSolver
+from repro.bench.workloads import WorkloadBundle
+
+
+@dataclass
+class ProbeSample:
+    time: float
+    error: float
+    objective: float
+    rate: float
+    ingested: int
+
+
+def probe_main_loop(bundle: WorkloadBundle, loss: Loss, dim: int,
+                    duration: float, dt: float = 0.25,
+                    solver_rate: float = 0.3) -> list[ProbeSample]:
+    """Run the bundle's job for ``duration`` virtual seconds, sampling the
+    main loop's approximation error every ``dt``."""
+    job = bundle.job
+    instances = bundle.extras["instances"]
+    job.feed(bundle.stream)
+    solver = GradientDescentSolver(loss, dim, rate=solver_rate,
+                                   tolerance=1e-4)
+    optimum_w: np.ndarray | None = None
+    solved_upto = 0
+    samples: list[ProbeSample] = []
+    steps = int(round(duration / dt))
+    for _ in range(steps):
+        job.run_for(dt)
+        ingested = min(job.ingester.tuples_ingested, len(instances))
+        if ingested < 2:
+            continue
+        prefix = instances[:ingested]
+        xs = np.stack([inst.x() for inst in prefix])
+        ys = np.asarray([inst.label for inst in prefix], dtype=float)
+        if ingested > solved_upto:
+            solver.instances = list(prefix)
+            optimum_w, _stats = solver.solve(initial=optimum_w)
+            solved_upto = ingested
+        param = job.main_values().get(PARAM)
+        if param is None or optimum_w is None:
+            continue
+        objective = loss.objective(param.weights, xs, ys)
+        optimum = loss.objective(optimum_w, xs, ys)
+        samples.append(ProbeSample(
+            time=job.sim.now,
+            error=max(objective - optimum, 0.0),
+            objective=objective,
+            rate=float(param.schedule.rate),
+            ingested=ingested,
+        ))
+    return samples
+
+
+def steady_state_error(samples: list[ProbeSample],
+                       tail_fraction: float = 0.5) -> float:
+    """Mean error over the trailing part of a probe series."""
+    if not samples:
+        return float("inf")
+    start = int(len(samples) * (1.0 - tail_fraction))
+    tail = samples[start:]
+    return float(np.mean([s.error for s in tail]))

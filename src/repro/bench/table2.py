@@ -1,0 +1,111 @@
+"""Table 2 and Figure 8a: the cost of asynchronism.
+
+An SSSP branch loop is forked from the default initial guess (batch-mode
+main loop, full activation) once half the stream has been ingested, under
+three delay bounds.  The paper reports per-loop totals (running time,
+iterations, updates, prepares) and the per-iteration running times.
+
+Expected shapes: the synchronous loop (B=1) converges in the fewest
+iterations and sends **zero** PREPARE messages; larger bounds need more
+iterations and more prepares (at the largest bound, roughly one prepare
+round per update); iterations of the synchronous loop take much longer to
+terminate than asynchronous ones.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.workloads import SMALL, Scale, sssp_bundle
+
+DELAY_BOUNDS = (1, 256, 65536)
+
+
+def run_table2(scale: Scale = SMALL,
+               delay_bounds: tuple[int, ...] = DELAY_BOUNDS,
+               ingest_fraction: float = 0.5) -> ExperimentResult:
+    """Fork one from-scratch SSSP branch loop per delay bound."""
+    result = ExperimentResult(
+        experiment="table2",
+        title="SSSP branch loops under different delay bounds",
+        columns=["delay_bound", "time_s", "iterations", "updates",
+                 "prepares", "mean_iteration_s"],
+    )
+    iteration_series: dict[int, list[tuple[int, float]]] = {}
+    summary: dict[int, dict] = {}
+    for bound in delay_bounds:
+        bundle = sssp_bundle(scale, delay_bound=bound,
+                             main_loop_mode="batch", merge_policy="never",
+                             report_interval=0.01)
+        job = bundle.job
+        job.feed(bundle.stream)
+        cutoff = int(len(bundle.stream) * ingest_fraction)
+        job.run_until(
+            lambda: job.ingester.tuples_ingested >= cutoff)
+        query = job.query(full_activation=True)
+        outcome = job.wait_for_query(query)
+        record = job.branch_record(query)
+        totals = job.loop_totals(record.loop)
+        times = job.branch_iteration_times(query)
+        iteration_series[bound] = times
+        elapsed = record.converged_at - record.forked_at
+        iterations = (outcome.converged_iteration + 1
+                      if outcome.converged_iteration >= 0 else 0)
+        mean_iteration = elapsed / max(1, iterations)
+        summary[bound] = dict(time=elapsed, iterations=iterations,
+                              updates=totals["commits"],
+                              prepares=totals["prepares"])
+        result.add_row(delay_bound=bound, time_s=elapsed,
+                       iterations=iterations,
+                       updates=totals["commits"],
+                       prepares=totals["prepares"],
+                       mean_iteration_s=mean_iteration)
+    sync = summary[delay_bounds[0]]
+    widest = summary[delay_bounds[-1]]
+    result.check("synchronous loop sends zero prepares",
+                 sync["prepares"] == 0,
+                 f"B=1 prepares={sync['prepares']}")
+    result.check("asynchronous loops send prepares",
+                 all(summary[b]["prepares"] > 0
+                     for b in delay_bounds[1:]),
+                 str({b: summary[b]["prepares"] for b in delay_bounds}))
+    result.check(
+        "synchronous loop needs the fewest iterations",
+        sync["iterations"] <= min(summary[b]["iterations"]
+                                  for b in delay_bounds[1:]),
+        str({b: summary[b]["iterations"] for b in delay_bounds}))
+    result.check(
+        "largest bound needs the most iterations",
+        widest["iterations"] >= max(summary[b]["iterations"]
+                                    for b in delay_bounds[:-1]),
+        str({b: summary[b]["iterations"] for b in delay_bounds}))
+    sync_mean = sync["time"] / max(1, sync["iterations"])
+    widest_mean = widest["time"] / max(1, widest["iterations"])
+    result.check(
+        "synchronous iterations take far longer each",
+        sync_mean > widest_mean,
+        f"B=1 mean={sync_mean:.4g}s "
+        f"B={delay_bounds[-1]} mean={widest_mean:.4g}s")
+    result.extras = iteration_series  # type: ignore[attr-defined]
+    return result
+
+
+def run_fig8a(scale: Scale = SMALL,
+              delay_bounds: tuple[int, ...] = DELAY_BOUNDS
+              ) -> ExperimentResult:
+    """Per-iteration termination times of the Table 2 branch loops."""
+    table2 = run_table2(scale, delay_bounds)
+    series = table2.extras  # type: ignore[attr-defined]
+    result = ExperimentResult(
+        experiment="fig8a",
+        title="SSSP branch-loop running time per iteration",
+        columns=["delay_bound", "iteration", "elapsed_s"],
+        checks=list(table2.checks),
+    )
+    for bound, times in series.items():
+        if not times:
+            continue
+        start = times[0][1]
+        for iteration, terminated_at in times:
+            result.add_row(delay_bound=bound, iteration=iteration,
+                           elapsed_s=terminated_at - start)
+    return result

@@ -1,0 +1,175 @@
+"""Workload builders shared by the experiment modules.
+
+Each builder returns a ready ``(job, stream, oracle-ish extras)`` bundle at
+a given scale.  Scales are kept small by default so the pytest-benchmark
+targets finish quickly; the CLI harness can pass larger ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.algorithms import (KMeansProgram, PageRankProgram, SSSPProgram,
+                              StaticRate, logreg_application,
+                              svm_application)
+from repro.algorithms.graph_common import EdgeStreamRouter
+from repro.algorithms.kmeans import PointRouter
+from repro.core import Application, TornadoConfig, TornadoJob
+from repro.datagen import (gaussian_mixture, higgs_like, livejournal_like,
+                           pubmed_like)
+from repro.streams import (StreamTuple, UniformRate, edge_stream,
+                           instance_stream, point_stream)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs shared by the graph/point/instance workloads."""
+
+    n_vertices: int = 400
+    n_edges: int = 2000
+    n_points: int = 240
+    n_instances: int = 400
+    dim: int = 8
+    k: int = 4
+    stream_rate: float = 2000.0
+    seed: int = 0
+
+
+SMALL = Scale()
+MEDIUM = Scale(n_vertices=1200, n_edges=6000, n_points=600,
+               n_instances=1200, dim=12, k=6)
+
+
+def base_config(**overrides: Any) -> TornadoConfig:
+    defaults = dict(n_processors=4, report_interval=0.02,
+                    storage_backend="memory", retransmit_timeout=0.5)
+    defaults.update(overrides)
+    return TornadoConfig(**defaults)
+
+
+@dataclass
+class WorkloadBundle:
+    """Everything an experiment needs to drive one workload."""
+
+    name: str
+    job: TornadoJob
+    stream: list[StreamTuple]
+    extras: dict[str, Any]
+
+    def feed_all(self) -> None:
+        self.job.feed(self.stream)
+
+
+def _graph_stream(scale: Scale, rate: float | None = None,
+                  delete_fraction: float = 0.0
+                  ) -> tuple[list, list[StreamTuple]]:
+    edges = livejournal_like(scale.n_vertices, scale.n_edges,
+                             seed=scale.seed)
+    rng = np.random.default_rng(scale.seed + 17)
+    stream = edge_stream(edges, UniformRate(rate or scale.stream_rate),
+                         delete_fraction=delete_fraction,
+                         rng=rng if delete_fraction else None)
+    return edges, stream
+
+
+def sssp_bundle(scale: Scale = SMALL, source: int = 0,
+                delete_fraction: float = 0.0,
+                **config_overrides: Any) -> WorkloadBundle:
+    edges, stream = _graph_stream(scale, delete_fraction=delete_fraction)
+    app = Application(
+        SSSPProgram(source, max_distance=scale.n_vertices * 2.0),
+        EdgeStreamRouter(), name="sssp")
+    job = TornadoJob(app, base_config(**config_overrides))
+    return WorkloadBundle("sssp", job, stream,
+                          {"edges": edges, "source": source})
+
+
+def pagerank_bundle(scale: Scale = SMALL, delete_fraction: float = 0.0,
+                    tolerance: float = 3e-3,
+                    **config_overrides: Any) -> WorkloadBundle:
+    edges, stream = _graph_stream(scale, delete_fraction=delete_fraction)
+    app = Application(PageRankProgram(tolerance=tolerance),
+                      EdgeStreamRouter(), name="pagerank")
+    job = TornadoJob(app, base_config(**config_overrides))
+    return WorkloadBundle("pagerank", job, stream, {"edges": edges})
+
+
+def kmeans_bundle(scale: Scale = SMALL, n_shards: int = 4,
+                  point_cost: float = 2e-6,
+                  **config_overrides: Any) -> WorkloadBundle:
+    points, centres = gaussian_mixture(scale.n_points, k=scale.k,
+                                       dim=scale.dim, seed=scale.seed)
+    rng = np.random.default_rng(scale.seed)
+    picks = rng.choice(len(points), size=scale.k, replace=False)
+    initial = [points[int(i)] for i in picks]
+    program = KMeansProgram(k=scale.k, n_shards=n_shards, dim=scale.dim,
+                            tolerance=1e-3, input_batch=16,
+                            point_cost=point_cost)
+    app = Application(program, PointRouter(scale.k, n_shards, initial),
+                      name="kmeans")
+    job = TornadoJob(app, base_config(**config_overrides))
+    stream = point_stream(points, UniformRate(scale.stream_rate))
+    return WorkloadBundle("kmeans", job, stream,
+                          {"points": points, "initial": initial,
+                           "centres": centres})
+
+
+def svm_bundle(scale: Scale = SMALL, n_samplers: int = 4,
+               schedule_factory: Callable | None = None,
+               drift: float = 0.0, batch_size: int = 16,
+               **config_overrides: Any) -> WorkloadBundle:
+    instances, true_w = higgs_like(scale.n_instances, dim=scale.dim,
+                                   seed=scale.seed, noise=0.1, drift=drift)
+    if schedule_factory is None:
+        schedule_factory = lambda: StaticRate(0.1)  # noqa: E731
+    app = svm_application(dim=scale.dim, n_samplers=n_samplers,
+                          schedule_factory=schedule_factory,
+                          batch_size=batch_size, reservoir_capacity=256,
+                          input_batch=8, tolerance=3e-3)
+    job = TornadoJob(app, base_config(**config_overrides))
+    stream = instance_stream(instances, UniformRate(scale.stream_rate))
+    return WorkloadBundle("svm", job, stream,
+                          {"instances": instances, "true_w": true_w})
+
+
+def logreg_bundle(scale: Scale = SMALL, n_samplers: int = 4,
+                  schedule_factory: Callable | None = None,
+                  drift: float = 0.8, batch_size: int = 16,
+                  **config_overrides: Any) -> WorkloadBundle:
+    instances, true_w = pubmed_like(scale.n_instances, dim=scale.dim * 8,
+                                    seed=scale.seed, drift=drift)
+    if schedule_factory is None:
+        schedule_factory = lambda: StaticRate(0.1)  # noqa: E731
+    app = logreg_application(dim=scale.dim * 8, n_samplers=n_samplers,
+                             schedule_factory=schedule_factory,
+                             batch_size=batch_size,
+                             reservoir_capacity=256, input_batch=8,
+                             tolerance=3e-3)
+    job = TornadoJob(app, base_config(**config_overrides))
+    stream = instance_stream(instances, UniformRate(scale.stream_rate))
+    return WorkloadBundle("logreg", job, stream,
+                          {"instances": instances, "true_w": true_w})
+
+
+def run_queries_per_epoch(bundle: WorkloadBundle, batch_size: int,
+                          max_queries: int = 50,
+                          settle: float = 0.05) -> list[float]:
+    """Feed the bundle's stream and fork one branch query per epoch of
+    ``batch_size`` tuples; returns the query latencies (the Fig. 5
+    measurement loop)."""
+    job = bundle.job
+    job.feed(bundle.stream)
+    total = len(bundle.stream)
+    latencies: list[float] = []
+    for count in range(batch_size, total + 1, batch_size):
+        if len(latencies) >= max_queries:
+            break
+        job.run_until(
+            lambda c=count: job.ingester.tuples_ingested >= c)
+        job.run_for(settle)
+        result = job.query_and_wait()
+        latencies.append(result.latency)
+    return latencies

@@ -1,0 +1,101 @@
+"""Runtime configuration for a Tornado job."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TornadoConfig:
+    """All knobs of a simulated Tornado deployment.
+
+    The cost parameters are per-event virtual-time charges; their defaults
+    are scaled so that the bundled experiments reproduce the *shapes* of the
+    paper's figures at laptop scale.
+    """
+
+    # -------------------------------------------------------------- layout
+    n_processors: int = 4
+    n_nodes: int = 4
+    seed: int = 0
+
+    # ------------------------------------------------------ iteration model
+    #: Delay bound B (paper §4.4).  1 = synchronous; large = asynchronous.
+    delay_bound: int = 65536
+
+    # --------------------------------------------------------------- costs
+    #: Virtual seconds to gather one update/input into a vertex.
+    gather_cost: float = 5e-5
+    #: Virtual seconds to handle one control message (PREPARE/ACK/...).
+    control_cost: float = 5e-6
+    #: Virtual seconds for the master to handle one control message.
+    master_cost: float = 1e-5
+    #: Network latency / jitter / fabric capacity (msgs per second).
+    net_latency: float = 3e-4
+    net_jitter: float = 0.0
+    net_capacity: float | None = None
+
+    # -------------------------------------------------------------- storage
+    #: "disk" (PostgreSQL-like, the default in the paper) or "memory"
+    #: (LMDB-like, used for the Table 3 comparison).
+    storage_backend: str = "disk"
+    disk_seek_cost: float = 1.5e-3
+    disk_record_cost: float = 2e-6
+
+    # ------------------------------------------------------------- control
+    #: How often processors report progress to the master.
+    report_interval: float = 2e-2
+    #: Reliable-transport retransmission timeout.
+    retransmit_timeout: float = 0.5
+    #: Merge converged branch results into the main loop: "if_quiescent"
+    #: (paper default: only when no inputs arrived during the branch run),
+    #: "always", or "never".
+    merge_policy: str = "if_quiescent"
+    #: Main-loop behaviour: "approximate" (paper's main loop — updates
+    #: propagate continuously) or "batch" (doBatchProcessing: the main loop
+    #: only accumulates inputs; branch loops do all the work).
+    main_loop_mode: str = "approximate"
+    # ------------------------------------------------------------ branches
+    #: Admission control for branch loops (paper §5.2: a branch starts
+    #: only "if there are sufficient idle processors").
+    max_concurrent_branches: int = 8
+    #: What to do with queries beyond the cap: "queue" them until a branch
+    #: finishes, or "shed" them (reject immediately — the load-shedding
+    #: direction of paper §8).
+    branch_admission: str = "queue"
+
+    # ----------------------------------------------------------- balancing
+    #: Enable the master's load rebalancer (paper §5.1): when processor
+    #: busy times skew beyond ``rebalance_factor``, ingestion is paused,
+    #: the hottest vertices are reassigned at quiescence, and the
+    #: computation resumes from the last terminated iteration.
+    rebalance_enabled: bool = False
+    rebalance_factor: float = 3.0
+    #: Minimum absolute busy-time gap (seconds) before rebalancing.
+    rebalance_min_gap: float = 0.05
+    #: Minimum virtual time between two rebalances.
+    rebalance_cooldown: float = 1.0
+
+    #: Extra safety margin for approximate-mode forks: also activate
+    #: vertices that committed within this window of virtual seconds
+    #: before the fork.  In-flight scatters are tracked exactly through
+    #: the reliable transport, so 0 is correct; a positive window adds
+    #: belt-and-braces re-activation.
+    fork_activation_window: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise ValueError("n_processors must be >= 1")
+        if self.delay_bound < 1:
+            raise ValueError("delay_bound must be >= 1")
+        if self.storage_backend not in ("disk", "memory"):
+            raise ValueError(f"unknown backend: {self.storage_backend!r}")
+        if self.merge_policy not in ("if_quiescent", "always", "never"):
+            raise ValueError(f"unknown merge policy: {self.merge_policy!r}")
+        if self.main_loop_mode not in ("approximate", "batch"):
+            raise ValueError(f"unknown mode: {self.main_loop_mode!r}")
+        if self.branch_admission not in ("queue", "shed"):
+            raise ValueError(
+                f"unknown admission policy: {self.branch_admission!r}")
+        if self.max_concurrent_branches < 1:
+            raise ValueError("max_concurrent_branches must be >= 1")

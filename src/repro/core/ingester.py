@@ -1,0 +1,117 @@
+"""The ingester (paper §5.1-5.2).
+
+Collects inputs from external sources, routes them to the processors that
+own the affected vertices, and receives user queries, forwarding them to
+the master.  Results of finished queries are held here for the driver.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.config import TornadoConfig
+from repro.core.messages import (MAIN_LOOP, BranchDone, PauseIngest,
+                                 QueryRejected, QueryRequest, ResumeIngest,
+                                 VertexInput)
+from repro.core.partition import PartitionScheme
+from repro.core.transport import ReliableEndpoint
+from repro.core.vertex import Application
+from repro.simulator import Actor, Network, Simulator
+from repro.streams.model import StreamTuple
+
+
+class Ingester(Actor):
+    """Feeds the topology and fields user queries."""
+
+    def __init__(self, sim: Simulator, name: str, config: TornadoConfig,
+                 app: Application, partition: PartitionScheme,
+                 network: Network, master_name: str) -> None:
+        super().__init__(sim, name)
+        self.config = config
+        self.app = app
+        self.partition = partition
+        self.network = network
+        self.master_name = master_name
+        self.transport = ReliableEndpoint(
+            sim, network, name, timeout=config.retransmit_timeout)
+        self._next_query = 0
+        self.results: dict[int, BranchDone] = {}
+        self.result_times: dict[int, float] = {}
+        self.tuples_ingested = 0
+        self.inputs_routed = 0
+        self.paused = False
+        self._held: list[StreamTuple] = []
+        self.rejections: dict[int, QueryRejected] = {}
+
+    # -------------------------------------------------------------- feeding
+    def schedule_stream(self, tuples: Iterable[StreamTuple]) -> int:
+        """Arrange for each tuple to arrive at its timestamp; returns the
+        number of tuples scheduled."""
+        count = 0
+        for tup in tuples:
+            at = max(self.sim.now, tup.timestamp)
+            self.sim.schedule_at(at, self.deliver, ("ingest", tup),
+                                 self.name)
+            count += 1
+        return count
+
+    # -------------------------------------------------------------- queries
+    def issue_query(self, full_activation: bool = False) -> int:
+        """Ask for the results at the current instant; returns a query id
+        the driver can poll."""
+        self._next_query += 1
+        query_id = self._next_query
+        self.transport.send(self.master_name, QueryRequest(
+            query_id=query_id,
+            issued_at=self.sim.now,
+            full_activation=full_activation,
+        ))
+        return query_id
+
+    def query_done(self, query_id: int) -> bool:
+        return query_id in self.results
+
+    # ------------------------------------------------------------- dispatch
+    def handle(self, message: Any, sender: str) -> float:
+        payload = self.transport.on_message(message, sender)
+        if payload is None:
+            return self.config.control_cost
+        if isinstance(payload, BranchDone):
+            self.results[payload.query_id] = payload
+            self.result_times[payload.query_id] = self.sim.now
+            return self.config.control_cost
+        if isinstance(payload, QueryRejected):
+            self.rejections[payload.query_id] = payload
+            return self.config.control_cost
+        if isinstance(payload, PauseIngest):
+            self.paused = True
+            return self.config.control_cost
+        if isinstance(payload, ResumeIngest):
+            self.paused = False
+            held, self._held = self._held, []
+            cost = self.config.control_cost
+            for tup in held:
+                cost += self._ingest(tup)
+            return cost
+        if isinstance(payload, tuple) and payload[0] == "ingest":
+            if self.paused:
+                self._held.append(payload[1])
+                return self.config.control_cost
+            return self._ingest(payload[1])
+        return self.config.control_cost
+
+    def _ingest(self, tup: StreamTuple) -> float:
+        self.tuples_ingested += 1
+        routed = 0
+        for vertex_id, delta in self.app.router.route(tup):
+            owner = self.partition.owner(vertex_id)
+            self.transport.send(owner, VertexInput(
+                loop=MAIN_LOOP,
+                vertex=vertex_id,
+                kind=delta.kind,
+                payload=delta.payload,
+                weight=delta.weight,
+            ))
+            routed += 1
+        self.inputs_routed += routed
+        return self.config.control_cost * (1 + routed)

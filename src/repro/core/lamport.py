@@ -1,0 +1,42 @@
+"""Lamport logical clocks (paper §4.2).
+
+Tornado adapts the Chandy-Misra dining-philosophers solution to evolving
+dependency graphs by ordering vertex updates with Lamport clocks: a vertex
+only acknowledges a producer's PREPARE when it is not itself updating, or
+when its own update *happens after* the producer's.  Timestamps are
+``(counter, owner)`` pairs so the order is total and deadlock is impossible
+even when two updates start at the same logical instant.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Timestamp(NamedTuple):
+    """A totally-ordered Lamport timestamp."""
+
+    counter: int
+    owner: str
+
+
+class LamportClock:
+    """One logical clock per processor (shared by its vertices)."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._counter = 0
+
+    def tick(self) -> Timestamp:
+        """Advance for a local event and return the new timestamp."""
+        self._counter += 1
+        return Timestamp(self._counter, self.owner)
+
+    def observe(self, other: Timestamp) -> None:
+        """Merge a timestamp received on a message."""
+        if other.counter > self._counter:
+            self._counter = other.counter
+
+    @property
+    def counter(self) -> int:
+        return self._counter

@@ -1,0 +1,288 @@
+"""The master (paper §5.1-5.2).
+
+Collects progress from all processors, detects iteration termination and
+loop convergence, manages branch-loop forks/merges, and coordinates
+recovery.  Everything the master must survive a crash with — the terminated
+frontiers and the branch registry — lives in shared durable state (the
+paper keeps the analogous metadata in the shared database), so a restarted
+master rebuilds its counters from the processors' cumulative reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.config import TornadoConfig
+from repro.core.messages import (MAIN_LOOP, BranchDone, ForkBranch,
+                                 IterationTerminated, MergeBranch,
+                                 PauseIngest, PeerRecovered,
+                                 ProcessorRecovered,
+                                 ProgressReport, QueryRejected,
+                                 QueryRequest, RecoverLoops, Repartition,
+                                 ResumeIngest, StopLoop, branch_name)
+from repro.core.partition import PartitionScheme
+from repro.core.progress import ProgressTracker
+from repro.core.transport import ReliableEndpoint
+from repro.simulator import Actor, Network, Simulator
+from repro.storage import CheckpointManifest
+
+
+@dataclass
+class BranchRecord:
+    """Durable record of one branch loop."""
+
+    loop: str
+    query_id: int
+    issued_at: float
+    forked_at: float
+    fork_iteration: int
+    inputs_at_fork: int
+    full_activation: bool
+    done: bool = False
+    merged: bool = False
+    converged_at: float | None = None
+    converged_iteration: int | None = None
+
+
+@dataclass
+class MasterDurableState:
+    """Master metadata persisted in the shared database."""
+
+    next_branch_id: int = 1
+    branches: dict[str, BranchRecord] = field(default_factory=dict)
+    seen_queries: set[int] = field(default_factory=set)
+
+
+class Master(Actor):
+    """Progress collection, termination detection and loop management."""
+
+    def __init__(self, sim: Simulator, name: str, config: TornadoConfig,
+                 network: Network, processors: list[str],
+                 ingester_name: str, manifest: CheckpointManifest,
+                 durable: MasterDurableState,
+                 partition: PartitionScheme | None = None) -> None:
+        super().__init__(sim, name)
+        self.config = config
+        self.network = network
+        self.processors = list(processors)
+        self.ingester_name = ingester_name
+        self.manifest = manifest
+        self.durable = durable
+        self.partition = partition
+        self.transport = ReliableEndpoint(
+            sim, network, name, timeout=config.retransmit_timeout)
+        self.trackers: dict[str, ProgressTracker] = {
+            MAIN_LOOP: ProgressTracker(MAIN_LOOP, self.processors)}
+        #: loop -> [(iteration, virtual time it terminated)]
+        self.termination_times: dict[str, list[tuple[int, float]]] = {}
+        # ------------------------------------------------ load balancing
+        self._busy: dict[str, float] = {}
+        self._hot: dict[str, tuple] = {}
+        self._rebalance_waiting = False
+        self._last_rebalance = float("-inf")
+        self.rebalances = 0
+        # Queries queued by admission control (in-memory: a master crash
+        # drops them and the ingester's retransmissions re-enter them).
+        self._query_backlog: list[QueryRequest] = []
+        self.queries_shed = 0
+
+    # ------------------------------------------------------------ dispatch
+    def handle(self, message: Any, sender: str) -> float:
+        payload = self.transport.on_message(message, sender)
+        if payload is None:
+            return self.config.master_cost
+        if isinstance(payload, ProgressReport):
+            return self._handle_report(payload)
+        if isinstance(payload, QueryRequest):
+            return self._handle_query(payload)
+        if isinstance(payload, ProcessorRecovered):
+            return self._handle_processor_recovered(payload)
+        return self.config.master_cost
+
+    # -------------------------------------------------------------- reports
+    def _handle_report(self, report: ProgressReport) -> float:
+        tracker = self.trackers.get(report.loop)
+        if tracker is None:
+            record = self.durable.branches.get(report.loop)
+            if record is None or record.done:
+                return self.config.master_cost
+            # A report for a live branch we lost track of (master restart
+            # between fork and convergence): resurrect its tracker.
+            tracker = self._make_tracker(report.loop)
+        if not tracker.apply_report(report):
+            return self.config.master_cost
+        terminated = tracker.advance()
+        if terminated:
+            times = self.termination_times.setdefault(report.loop, [])
+            for iteration in terminated:
+                self.manifest.record_terminated(report.loop, iteration)
+                times.append((iteration, self.sim.now))
+            self._broadcast(IterationTerminated(report.loop, terminated[-1]))
+        record = self.durable.branches.get(report.loop)
+        if record is not None and not record.done and tracker.converged:
+            self._finish_branch(record, tracker)
+        if report.loop == MAIN_LOOP:
+            self._busy[report.processor] = report.busy_time
+            if report.hot_vertices:
+                self._hot[report.processor] = report.hot_vertices
+            self._maybe_rebalance()
+        return self.config.master_cost
+
+    # ---------------------------------------------------- load balancing
+    def _maybe_rebalance(self) -> None:
+        if not self.config.rebalance_enabled or self.partition is None:
+            return
+        if self._rebalance_waiting:
+            # Waiting for the main loop to quiesce before moving state.
+            if self.trackers[MAIN_LOOP].converged:
+                self._perform_rebalance()
+            return
+        if self.sim.now - self._last_rebalance < \
+                self.config.rebalance_cooldown:
+            return
+        if any(not record.done
+               for record in self.durable.branches.values()):
+            return  # never move vertices under live branch loops
+        if len(self._busy) < len(self.processors):
+            return
+        hottest = max(self._busy.values())
+        coldest = min(self._busy.values())
+        if (hottest - coldest > self.config.rebalance_min_gap
+                and hottest > self.config.rebalance_factor
+                * max(coldest, 1e-9)):
+            self._rebalance_waiting = True
+            self.transport.send(self.ingester_name, PauseIngest())
+
+    def _perform_rebalance(self) -> None:
+        self._rebalance_waiting = False
+        self._last_rebalance = self.sim.now
+        hot_processor = max(self._busy, key=self._busy.get)
+        cold_processor = min(self._busy, key=self._busy.get)
+        moves = tuple(
+            (vertex, cold_processor)
+            for vertex in self._hot.get(hot_processor, ())
+            if self.partition.owner(vertex) == hot_processor)
+        if moves:
+            for vertex, new_owner in moves:
+                self.partition.reassign(vertex, new_owner)
+            self.rebalances += 1
+            self._broadcast(Repartition(self.partition.version, moves))
+        self.transport.send(self.ingester_name, ResumeIngest())
+
+    def _make_tracker(self, loop: str) -> ProgressTracker:
+        tracker = ProgressTracker(loop, self.processors)
+        tracker.frontier = self.manifest.restart_iteration(loop) + 1
+        self.trackers[loop] = tracker
+        return tracker
+
+    # -------------------------------------------------------------- queries
+    def _active_branch_count(self) -> int:
+        return sum(1 for record in self.durable.branches.values()
+                   if not record.done)
+
+    def _handle_query(self, query: QueryRequest) -> float:
+        if query.query_id in self.durable.seen_queries:
+            return self.config.master_cost
+        if self._active_branch_count() >= \
+                self.config.max_concurrent_branches:
+            if self.config.branch_admission == "shed":
+                self.durable.seen_queries.add(query.query_id)
+                self.queries_shed += 1
+                self.transport.send(self.ingester_name, QueryRejected(
+                    query_id=query.query_id,
+                    issued_at=query.issued_at,
+                    reason="branch-loop capacity exhausted"))
+            elif all(q.query_id != query.query_id
+                     for q in self._query_backlog):
+                self._query_backlog.append(query)
+            return self.config.master_cost
+        return self._start_branch(query)
+
+    def _start_branch(self, query: QueryRequest) -> float:
+        self.durable.seen_queries.add(query.query_id)
+        branch_id = self.durable.next_branch_id
+        self.durable.next_branch_id += 1
+        loop = branch_name(branch_id)
+        main_tracker = self.trackers[MAIN_LOOP]
+        record = BranchRecord(
+            loop=loop,
+            query_id=query.query_id,
+            issued_at=query.issued_at,
+            forked_at=self.sim.now,
+            fork_iteration=main_tracker.last_terminated,
+            inputs_at_fork=main_tracker.total_inputs(),
+            full_activation=query.full_activation,
+        )
+        self.durable.branches[loop] = record
+        self._make_tracker(loop)
+        self._broadcast(ForkBranch(
+            loop=loop,
+            fork_iteration=record.fork_iteration,
+            previous_fork_iteration=-1,
+            full_activation=query.full_activation,
+        ))
+        return self.config.master_cost
+
+    # ------------------------------------------------------------ branches
+    def _finish_branch(self, record: BranchRecord,
+                       tracker: ProgressTracker) -> None:
+        record.done = True
+        record.converged_at = self.sim.now
+        record.converged_iteration = tracker.last_terminated
+        should_merge = self.config.merge_policy == "always"
+        if self.config.merge_policy == "if_quiescent":
+            main_inputs = self.trackers[MAIN_LOOP].total_inputs()
+            should_merge = main_inputs == record.inputs_at_fork
+        if should_merge:
+            record.merged = True
+            target = (self.trackers[MAIN_LOOP].frontier
+                      + self.config.delay_bound)
+            self._broadcast(MergeBranch(record.loop, target))
+        self._broadcast(StopLoop(record.loop))
+        self.trackers.pop(record.loop, None)
+        self.transport.send(self.ingester_name, BranchDone(
+            loop=record.loop,
+            query_id=record.query_id,
+            converged_iteration=record.converged_iteration,
+            issued_at=record.issued_at,
+        ))
+        # A slot opened up: admit the oldest queued query, if any.
+        if self._query_backlog and self._active_branch_count() < \
+                self.config.max_concurrent_branches:
+            self._start_branch(self._query_backlog.pop(0))
+
+    # ------------------------------------------------------------ recovery
+    def _handle_processor_recovered(self, msg: ProcessorRecovered) -> float:
+        for tracker in self.trackers.values():
+            tracker.forget_processor(msg.processor)
+        loops = [(MAIN_LOOP, self.manifest.restart_iteration(MAIN_LOOP))]
+        for loop, record in self.durable.branches.items():
+            if not record.done:
+                loops.append((loop, self.manifest.restart_iteration(loop)))
+        self.transport.send(msg.processor, RecoverLoops(tuple(loops)))
+        for peer in self.processors:
+            if peer != msg.processor:
+                self.transport.send(peer, PeerRecovered(msg.processor))
+        return self.config.master_cost
+
+    def on_failure(self) -> None:
+        self.transport.clear()
+        self.trackers = {}
+
+    def on_recover(self) -> None:
+        """Rebuild from durable state; cumulative processor reports will
+        repopulate the counters."""
+        self._make_tracker(MAIN_LOOP)
+        for loop, record in self.durable.branches.items():
+            if not record.done:
+                self._make_tracker(loop)
+        for loop in self.trackers:
+            last = self.manifest.restart_iteration(loop)
+            if last >= 0:
+                self._broadcast(IterationTerminated(loop, last))
+
+    # -------------------------------------------------------------- helpers
+    def _broadcast(self, payload: Any) -> None:
+        for processor in self.processors:
+            self.transport.send(processor, payload)

@@ -1,0 +1,222 @@
+"""Protocol messages exchanged by Tornado's ingester, processors and master.
+
+Messages are small frozen dataclasses.  The session-layer messages (UPDATE /
+PREPARE / ACKNOWLEDGE) implement the three-phase update protocol of paper
+§4.2; the control messages implement progress tracking (§4.3), branch-loop
+management (§5.2) and recovery (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.lamport import Timestamp
+
+MAIN_LOOP = "main"
+
+
+def branch_name(branch_id: int) -> str:
+    return f"branch-{branch_id}"
+
+
+# --------------------------------------------------------------- session
+@dataclass(frozen=True, slots=True)
+class VertexInput:
+    """A stream delta routed to one vertex of a loop."""
+
+    loop: str
+    vertex: Any
+    kind: str
+    payload: Any
+    weight: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class VertexUpdate:
+    """Commit of ``producer``'s new value, scattered to one consumer."""
+
+    loop: str
+    producer: Any
+    consumer: Any
+    iteration: int
+    data: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Prepare:
+    """Phase 2: ``producer`` announces it is about to update."""
+
+    loop: str
+    producer: Any
+    consumer: Any
+    update_time: Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class Acknowledge:
+    """Reply to a Prepare: the consumer's current iteration number."""
+
+    loop: str
+    consumer: Any
+    producer: Any
+    iteration: int
+
+
+# --------------------------------------------------------------- control
+@dataclass(frozen=True, slots=True)
+class ProgressReport:
+    """Cumulative per-iteration counters from one processor.
+
+    ``counters`` maps iteration -> (commits, sent, gathered); ``watermark``
+    is the lowest iteration at which the processor still has local pending
+    work (+inf when idle).  Counters are cumulative so reports are
+    idempotent under at-least-once delivery and survive master restarts.
+    """
+
+    loop: str
+    processor: str
+    seq: int
+    counters: dict[int, tuple[int, int, int]]
+    watermark: float
+    inputs_gathered: int = 0
+    #: Cumulative busy time of the processor (load monitoring, §5.1).
+    busy_time: float = 0.0
+    #: The processor's currently hottest vertices (by recent commits).
+    hot_vertices: tuple = ()
+    #: Session messages this processor has sent but not yet seen
+    #: acknowledged (snapshot taken before the report is enqueued).  Zero
+    #: everywhere + idle watermarks + empty delay buffers = quiescence.
+    unacked: int = 0
+    #: Updates parked by the delay bound on this processor.
+    buffered: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class IterationTerminated:
+    """Master -> processors: every iteration ≤ ``iteration`` of ``loop``
+    has terminated; the delay-bound frontier advances."""
+
+    loop: str
+    iteration: int
+
+
+@dataclass(frozen=True, slots=True)
+class ForkBranch:
+    """Master -> processors: fork a branch loop from the main loop."""
+
+    loop: str
+    fork_iteration: int
+    previous_fork_iteration: int
+    full_activation: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class StopLoop:
+    """Master -> processors: tear a converged/abandoned branch loop down."""
+
+    loop: str
+
+
+@dataclass(frozen=True, slots=True)
+class MergeBranch:
+    """Master -> processors: write a converged branch's values back into
+    the main loop at ``target_iteration`` (= τ + B, paper §5.2)."""
+
+    loop: str
+    target_iteration: int
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRequest:
+    """Ingester -> master: a user asked for results at this instant."""
+
+    query_id: int
+    issued_at: float
+    full_activation: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRejected:
+    """Master -> ingester: the query was shed (no capacity for another
+    branch loop and shedding is the configured admission policy)."""
+
+    query_id: int
+    issued_at: float
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class BranchDone:
+    """Master -> ingester/driver: a branch converged; results readable."""
+
+    loop: str
+    query_id: int
+    converged_iteration: int
+    issued_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class PauseIngest:
+    """Master -> ingester: hold new inputs while repartitioning."""
+
+
+@dataclass(frozen=True, slots=True)
+class ResumeIngest:
+    """Master -> ingester: repartitioning done, release held inputs."""
+
+
+@dataclass(frozen=True, slots=True)
+class Repartition:
+    """Master -> processors: the partition scheme changed; hand the moved
+    vertices over (their state travels through the shared store)."""
+
+    version: int
+    moves: tuple[tuple[Any, str], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorRecovered:
+    """Processor -> master: I restarted and lost in-memory state."""
+
+    processor: str
+
+
+@dataclass(frozen=True, slots=True)
+class PeerRecovered:
+    """Master -> other processors: ``processor`` restarted and lost its
+    session state.  Producers mid-prepare must re-send their PREPAREs to
+    consumers it owns — the session-level replies they were waiting for
+    died with it (the transport-level ack already happened, so no
+    transport retransmission will occur)."""
+
+    processor: str
+
+
+@dataclass(frozen=True, slots=True)
+class RecoverLoops:
+    """Master -> recovering processor: the loops to rebuild, with the last
+    terminated iteration of each (the checkpoint to reload)."""
+
+    loops: tuple[tuple[str, int], ...]
+
+
+# ------------------------------------------------------------- transport
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """Reliable-transport wrapper: at-least-once with receiver dedup."""
+
+    msg_id: int
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class TransportAck:
+    msg_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class Unreliable:
+    """Wrapper for fire-and-forget messages (no retransmission)."""
+
+    payload: Any

@@ -1,0 +1,49 @@
+"""Vertex partitioning (paper §5.1).
+
+Vertices are hash-partitioned across processors; the scheme is kept in
+shared storage so both ingesters and processors can resolve the owner of
+any vertex.  The master may repartition when load skews (the computation is
+paused, the scheme rewritten, and execution restarts from the last
+terminated iteration).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+
+def _stable_hash(value: Any) -> int:
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+class PartitionScheme:
+    """Maps vertex ids to processor names."""
+
+    def __init__(self, processors: list[str]) -> None:
+        if not processors:
+            raise ValueError("need at least one processor")
+        self.processors = list(processors)
+        self._overrides: dict[Any, str] = {}
+        self.version = 0
+
+    def owner(self, vertex_id: Any) -> str:
+        override = self._overrides.get(vertex_id)
+        if override is not None:
+            return override
+        index = _stable_hash(vertex_id) % len(self.processors)
+        return self.processors[index]
+
+    def reassign(self, vertex_id: Any, processor: str) -> None:
+        """Explicitly pin a vertex (used by the master's rebalancer)."""
+        if processor not in self.processors:
+            raise ValueError(f"unknown processor: {processor!r}")
+        self._overrides[vertex_id] = processor
+        self.version += 1
+
+    def assignments(self, vertex_ids: list[Any]) -> dict[str, list[Any]]:
+        """Group vertex ids by owning processor."""
+        grouped: dict[str, list[Any]] = {name: [] for name in self.processors}
+        for vertex_id in vertex_ids:
+            grouped[self.owner(vertex_id)].append(vertex_id)
+        return grouped

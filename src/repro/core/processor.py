@@ -1,0 +1,674 @@
+"""The processor: Tornado's session layer (paper §5.1).
+
+A processor is one worker thread.  It hosts the vertices assigned to it by
+the partition scheme, one copy per loop (main + forked branches), and drives
+the three-phase update protocol for each of them.  It enforces the delay
+bound by buffering updates that ran too far ahead, flushes committed
+versions to the storage backend before reporting progress (which is what
+makes every terminated iteration a checkpoint), and rebuilds itself from
+the last terminated iteration after a crash.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any
+
+from repro.core.config import TornadoConfig
+from repro.core.lamport import LamportClock
+from repro.core.messages import (MAIN_LOOP, Acknowledge, Envelope,
+                                 ForkBranch, IterationTerminated,
+                                 MergeBranch, PeerRecovered, Prepare,
+                                 ProcessorRecovered, ProgressReport,
+                                 RecoverLoops, Repartition, StopLoop,
+                                 Unreliable, VertexInput, VertexUpdate)
+from repro.core.partition import PartitionScheme
+from repro.core.protocol import (CommitUpdate, SendAck, SendPrepare,
+                                 VertexProtocol)
+from repro.core.transport import ReliableEndpoint
+from repro.core.vertex import Application, Delta, VertexContext, VertexState
+from repro.simulator import Actor, Network, Simulator
+from repro.storage import StorageBackend, VersionedStore
+
+
+class LoopState:
+    """Everything a processor keeps for one loop."""
+
+    def __init__(self, name: str, is_main: bool) -> None:
+        self.name = name
+        self.is_main = is_main
+        self.vertices: dict[Any, VertexState] = {}
+        self.protocols: dict[Any, VertexProtocol] = {}
+        # First iteration not yet terminated, as last heard from the master.
+        self.frontier = 0
+        # iteration -> [commits, sent, gathered]; cumulative.
+        self.counters: dict[int, list[int]] = {}
+        self.inputs_gathered = 0
+        self.prepares_recorded = 0
+        self.commits_total = 0
+        self.sent_total = 0
+        self.gathered_total = 0
+        # Updates blocked by the delay bound, keyed by their iteration.
+        self.buffered_updates: list[tuple[int, int, VertexUpdate]] = []
+        # Inputs deferred while their vertex prepares (paper §4.2).
+        self.buffered_inputs: dict[Any, list[VertexInput]] = {}
+        # Vertices touched (input or commit) since the last branch fork.
+        self.changed_since_fork: set[Any] = set()
+        # Per-vertex commits since the last progress report (load stats).
+        self.recent_commit_counts: dict[Any, int] = {}
+        self.pending_flush = 0
+        self._buffer_seq = itertools.count()
+
+    def counter(self, iteration: int) -> list[int]:
+        entry = self.counters.get(iteration)
+        if entry is None:
+            entry = self.counters[iteration] = [0, 0, 0]
+        return entry
+
+    def prune_counters(self) -> None:
+        """Drop counters no termination decision can look at again."""
+        floor = self.frontier - 1
+        for iteration in [k for k in self.counters if k < floor]:
+            del self.counters[iteration]
+
+    def watermark(self) -> float:
+        """Lowest iteration with local pending vertex work."""
+        pending = [p.iteration for p in self.protocols.values()
+                   if p.has_pending_work()]
+        return min(pending) if pending else math.inf
+
+
+class Processor(Actor):
+    """One simulated worker executing the Tornado iteration model."""
+
+    def __init__(self, sim: Simulator, name: str, config: TornadoConfig,
+                 app: Application, partition: PartitionScheme,
+                 store: VersionedStore, backend: StorageBackend,
+                 network: Network, master_name: str) -> None:
+        super().__init__(sim, name)
+        self.config = config
+        self.app = app
+        self.partition = partition
+        self.store = store
+        self.backend = backend
+        self.network = network
+        self.master_name = master_name
+        self.clock = LamportClock(name)
+        self.transport = ReliableEndpoint(
+            sim, network, name, timeout=config.retransmit_timeout)
+        self.loops: dict[str, LoopState] = {MAIN_LOOP: LoopState(MAIN_LOOP,
+                                                                 True)}
+        # Session messages for loops whose fork has not arrived yet.
+        self._orphans: dict[str, list[Any]] = {}
+        # Totals of stopped loops: loop -> (commits, sent, gathered,
+        # prepares).
+        self.loop_archive: dict[str, tuple[int, int, int, int]] = {}
+        self._report_seq = 0
+        self._report_timer_running = False
+        self._flush_in_flight = False
+        self._work_since_report = True
+        self.total_commits = 0
+        self.total_updates_gathered = 0
+        self.total_prepares = 0
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        self._report_timer_running = True
+        self.sim.schedule(self.config.report_interval, self._report_tick)
+
+    # ------------------------------------------------------------ dispatch
+    def classify(self, message: Any) -> int:
+        """Branch-loop traffic preempts main-loop backlog: the paper runs
+        branch loops on otherwise-idle processors, so query work should
+        not queue behind the continuous approximation work."""
+        payload = message
+        if isinstance(payload, Envelope):
+            payload = payload.payload
+        elif isinstance(payload, Unreliable):
+            payload = payload.payload
+        loop = getattr(payload, "loop", None)
+        if loop is not None and loop != MAIN_LOOP:
+            return 1
+        if isinstance(payload, (ForkBranch, MergeBranch, StopLoop)):
+            return 1
+        return 0
+
+    def handle(self, message: Any, sender: str) -> float:
+        payload = self.transport.on_message(message, sender)
+        if payload is None:
+            return self.config.control_cost
+        self._work_since_report = True
+        if isinstance(payload, VertexInput):
+            return self._handle_input(payload)
+        if isinstance(payload, VertexUpdate):
+            return self._handle_update(payload)
+        if isinstance(payload, Prepare):
+            return self._handle_prepare(payload)
+        if isinstance(payload, Acknowledge):
+            return self._handle_ack(payload)
+        if isinstance(payload, IterationTerminated):
+            return self._handle_terminated(payload)
+        if isinstance(payload, ForkBranch):
+            return self._handle_fork(payload)
+        if isinstance(payload, MergeBranch):
+            return self._handle_merge(payload)
+        if isinstance(payload, StopLoop):
+            return self._handle_stop(payload)
+        if isinstance(payload, RecoverLoops):
+            return self._handle_recover_loops(payload)
+        if isinstance(payload, Repartition):
+            return self._handle_repartition(payload)
+        if isinstance(payload, PeerRecovered):
+            return self._handle_peer_recovered(payload)
+        return self.config.control_cost
+
+    def _handle_peer_recovered(self, msg: PeerRecovered) -> float:
+        """A peer restarted and lost its session state.  Two repairs:
+
+        * Pended session-level ACKs it owed us are gone — every vertex
+          mid-prepare re-sends its PREPARE to consumers the peer owns
+          (the recovered consumer acknowledges immediately).
+        * Preparations the peer's vertices had announced are void — drop
+          those producers from our prepare_lists (if a recovered producer
+          still wants to update, it will PREPARE again), which unblocks
+          vertices that were waiting on a ghost.
+        * The peer rolled its vertices back to the last checkpoint; offers
+          we delivered after that checkpoint died with it and the
+          transport will not resend them (they were acknowledged).  Every
+          local vertex with a consumer on the peer re-scatters its current
+          value (the paper's message replay, end to end).
+        """
+        cost = self.config.control_cost
+        for loop in self.loops.values():
+            for vertex_id, state in loop.vertices.items():
+                if any(self.partition.owner(target) == msg.processor
+                       for target in state.targets):
+                    loop.protocols[vertex_id].dirty = True
+            for vertex_id, protocol in loop.protocols.items():
+                stale = [producer for producer in protocol.prepare_list
+                         if self.partition.owner(producer)
+                         == msg.processor]
+                for producer in stale:
+                    protocol.prepare_list.discard(producer)
+                if not protocol.preparing:
+                    if protocol.dirty:
+                        cost += self._try_prepare(loop, vertex_id)
+                    continue
+                for consumer in list(protocol.waiting_list):
+                    if self.partition.owner(consumer) != msg.processor:
+                        continue
+                    self.transport.send(msg.processor, Prepare(
+                        loop.name, vertex_id, consumer,
+                        protocol.update_time), tag=loop.name)
+                    cost += self.config.control_cost
+        return cost
+
+    def _forward_if_not_owner(self, vertex_id: Any, payload: Any) -> bool:
+        """Route mis-addressed session traffic to the current owner (the
+        partition scheme may have changed while the message was in
+        flight)."""
+        owner = self.partition.owner(vertex_id)
+        if owner == self.name:
+            return False
+        self.transport.send(owner, payload,
+                            tag=getattr(payload, "loop", None))
+        return True
+
+    # ------------------------------------------------------------ vertices
+    def _ensure_vertex(self, loop: LoopState,
+                       vertex_id: Any) -> tuple[VertexState, VertexProtocol]:
+        state = loop.vertices.get(vertex_id)
+        if state is None:
+            found = self.store.get_version(loop.name, vertex_id)
+            if found is not None:
+                # Adopted (repartitioned) or post-recovery vertex: seed
+                # from its most recent durable version.
+                iteration, (value, targets) = found
+                state = VertexState(
+                    vertex_id, self.app.program.snapshot_value(value),
+                    set(targets), iteration)
+                protocol = VertexProtocol(
+                    vertex_id, iteration=max(iteration, loop.frontier))
+            else:
+                state = VertexState(vertex_id)
+                protocol = VertexProtocol(vertex_id,
+                                          iteration=loop.frontier)
+            loop.vertices[vertex_id] = state
+            loop.protocols[vertex_id] = protocol
+            if found is None:
+                ctx = VertexContext(state, loop.name, protocol.iteration)
+                self.app.program.init(ctx)
+        return state, loop.protocols[vertex_id]
+
+    def _loop_or_orphan(self, name: str, message: Any) -> LoopState | None:
+        loop = self.loops.get(name)
+        if loop is None:
+            # Session traffic racing ahead of the ForkBranch notice.
+            self._orphans.setdefault(name, []).append(message)
+        return loop
+
+    # -------------------------------------------------------------- inputs
+    def _handle_input(self, msg: VertexInput) -> float:
+        if self._forward_if_not_owner(msg.vertex, msg):
+            return self.config.control_cost
+        loop = self.loops.get(msg.loop)
+        if loop is None:
+            return self.config.control_cost
+        state, protocol = self._ensure_vertex(loop, msg.vertex)
+        if protocol.preparing:
+            # Inputs may change the dependency graph, so they are not
+            # gathered during a preparation (paper §4.2).
+            loop.buffered_inputs.setdefault(msg.vertex, []).append(msg)
+            return self.config.control_cost
+        return self._apply_input(loop, state, protocol, msg)
+
+    def _apply_input(self, loop: LoopState, state: VertexState,
+                     protocol: VertexProtocol, msg: VertexInput) -> float:
+        ctx = VertexContext(state, loop.name, protocol.iteration)
+        delta = Delta(msg.kind, msg.payload, msg.weight)
+        changed = self.app.program.gather(ctx, None, delta)
+        if self.config.main_loop_mode == "batch" and loop.is_main:
+            changed = False  # accumulate only; branch loops do the work
+        protocol.gathered_input(loop.frontier, changed)
+        loop.inputs_gathered += 1
+        loop.changed_since_fork.add(msg.vertex)
+        cost = self.app.program.gather_cost(ctx, None, delta)
+        if cost is None:
+            cost = self.config.gather_cost
+        return cost + self._try_prepare(loop, msg.vertex)
+
+    # ------------------------------------------------------------- updates
+    def _handle_update(self, msg: VertexUpdate) -> float:
+        if self._forward_if_not_owner(msg.consumer, msg):
+            return self.config.control_cost
+        loop = self._loop_or_orphan(msg.loop, msg)
+        if loop is None:
+            return self.config.control_cost
+        blocked_at = loop.frontier + self.config.delay_bound - 1
+        if msg.iteration >= blocked_at:
+            heapq.heappush(loop.buffered_updates,
+                           (msg.iteration, next(loop._buffer_seq), msg))
+            return self.config.control_cost
+        return self._apply_update(loop, msg)
+
+    def _apply_update(self, loop: LoopState, msg: VertexUpdate) -> float:
+        state, protocol = self._ensure_vertex(loop, msg.consumer)
+        ctx = VertexContext(state, loop.name, protocol.iteration)
+        changed = self.app.program.gather(ctx, msg.producer, msg.data)
+        protocol.gathered_update(msg.producer, msg.iteration, changed)
+        loop.counter(msg.iteration)[2] += 1
+        loop.gathered_total += 1
+        self.total_updates_gathered += 1
+        cost = self.app.program.gather_cost(ctx, msg.producer, msg.data)
+        if cost is None:
+            cost = self.config.gather_cost
+        return cost + self._try_prepare(loop, msg.consumer)
+
+    # ------------------------------------------------------ prepare / ack
+    def _handle_prepare(self, msg: Prepare) -> float:
+        if self._forward_if_not_owner(msg.consumer, msg):
+            return self.config.control_cost
+        loop = self._loop_or_orphan(msg.loop, msg)
+        if loop is None:
+            return self.config.control_cost
+        _state, protocol = self._ensure_vertex(loop, msg.consumer)
+        self.clock.observe(msg.update_time)
+        actions = protocol.received_prepare(msg.producer, msg.update_time)
+        return self.config.control_cost + self._run_actions(
+            loop, msg.consumer, actions)
+
+    def _handle_ack(self, msg: Acknowledge) -> float:
+        if self._forward_if_not_owner(msg.producer, msg):
+            return self.config.control_cost
+        loop = self.loops.get(msg.loop)
+        if loop is None:
+            return self.config.control_cost
+        protocol = loop.protocols.get(msg.producer)
+        if protocol is None:
+            return self.config.control_cost
+        actions = protocol.received_ack(msg.consumer, msg.iteration)
+        return self.config.control_cost + self._run_actions(
+            loop, msg.producer, actions)
+
+    # ----------------------------------------------------- protocol driver
+    def _try_prepare(self, loop: LoopState, vertex_id: Any) -> float:
+        protocol = loop.protocols[vertex_id]
+        state = loop.vertices[vertex_id]
+        blocked_at = loop.frontier + self.config.delay_bound - 1
+        skip = protocol.iteration >= blocked_at
+        actions = protocol.try_prepare(self.clock, state.targets,
+                                       skip_prepare=skip)
+        return self._run_actions(loop, vertex_id, actions)
+
+    def _run_actions(self, loop: LoopState, vertex_id: Any,
+                     actions: list) -> float:
+        cost = 0.0
+        for action in actions:
+            if isinstance(action, SendPrepare):
+                owner = self.partition.owner(action.consumer)
+                self.transport.send(owner, Prepare(
+                    loop.name, vertex_id, action.consumer,
+                    action.update_time), tag=loop.name)
+                loop.prepares_recorded += 1
+                self.total_prepares += 1
+                cost += self.config.control_cost
+            elif isinstance(action, SendAck):
+                owner = self.partition.owner(action.producer)
+                self.transport.send(owner, Acknowledge(
+                    loop.name, vertex_id, action.producer,
+                    action.iteration), tag=loop.name)
+                cost += self.config.control_cost
+            elif isinstance(action, CommitUpdate):
+                cost += self._commit(loop, vertex_id, action.iteration)
+        return cost
+
+    def _commit(self, loop: LoopState, vertex_id: Any,
+                iteration: int) -> float:
+        state = loop.vertices[vertex_id]
+        state.last_commit_iteration = iteration
+        state.last_commit_time = self.sim.now
+        version = (self.app.program.snapshot_value(state.value),
+                   frozenset(state.targets))
+        self.store.put(loop.name, vertex_id, iteration, version)
+        loop.pending_flush += 1
+        loop.counter(iteration)[0] += 1
+        loop.commits_total += 1
+        self.total_commits += 1
+        if loop.is_main:
+            loop.changed_since_fork.add(vertex_id)
+            loop.recent_commit_counts[vertex_id] = (
+                loop.recent_commit_counts.get(vertex_id, 0) + 1)
+        ctx = VertexContext(state, loop.name, iteration)
+        self.app.program.scatter(ctx)
+        emitted = ctx.take_emitted()
+        for target, data in emitted.items():
+            owner = self.partition.owner(target)
+            self.transport.send(owner, VertexUpdate(
+                loop.name, vertex_id, target, iteration, data),
+                tag=loop.name)
+        loop.counter(iteration)[1] += len(emitted)
+        loop.sent_total += len(emitted)
+        # Gather the inputs that arrived during the preparation.
+        cost = self.config.control_cost * (1 + len(emitted))
+        deferred = loop.buffered_inputs.pop(vertex_id, None)
+        if deferred:
+            protocol = loop.protocols[vertex_id]
+            for msg in deferred:
+                cost += self._apply_input(loop, state, protocol, msg)
+        return cost
+
+    # ---------------------------------------------------------- frontier
+    def _handle_terminated(self, msg: IterationTerminated) -> float:
+        loop = self.loops.get(msg.loop)
+        if loop is None:
+            return self.config.control_cost
+        if msg.iteration + 1 <= loop.frontier:
+            return self.config.control_cost
+        loop.frontier = msg.iteration + 1
+        loop.prune_counters()
+        blocked_at = loop.frontier + self.config.delay_bound - 1
+        while (loop.buffered_updates
+               and loop.buffered_updates[0][0] < blocked_at):
+            _iteration, _seq, update = heapq.heappop(loop.buffered_updates)
+            # Requeue through the inbox so each release pays message cost.
+            self.deliver(update, self.name)
+        # The frontier advance may unlock the delay-bound fast path.
+        cost = self.config.control_cost
+        for vertex_id, protocol in list(loop.protocols.items()):
+            if protocol.dirty and not protocol.preparing:
+                cost += self._try_prepare(loop, vertex_id)
+        return cost
+
+    def _handle_stop(self, msg: StopLoop) -> float:
+        """Tear a finished branch loop down, first materialising its final
+        state so query results are complete even for vertices the branch
+        never needed to update."""
+        stopped = self.loops.pop(msg.loop, None)
+        self._orphans.pop(msg.loop, None)
+        if stopped is None:
+            return self.config.control_cost
+        self.loop_archive[msg.loop] = (
+            stopped.commits_total, stopped.sent_total,
+            stopped.gathered_total, stopped.prepares_recorded)
+        materialised = 0
+        for vertex_id, state in stopped.vertices.items():
+            if self.store.get_version(msg.loop, vertex_id) is not None:
+                continue
+            version = (self.app.program.snapshot_value(state.value),
+                       frozenset(state.targets))
+            self.store.put(msg.loop, vertex_id,
+                           max(0, state.last_commit_iteration), version)
+            materialised += 1
+        return self.config.control_cost + 2e-6 * materialised
+
+    # ------------------------------------------------------ fork / merge
+    def _handle_fork(self, msg: ForkBranch) -> float:
+        if msg.loop in self.loops:
+            return self.config.control_cost
+        main = self.loops[MAIN_LOOP]
+        branch = LoopState(msg.loop, is_main=False)
+        self.loops[msg.loop] = branch
+        changed = main.changed_since_fork
+        main.changed_since_fork = set()
+        window_start = self.sim.now - self.config.fork_activation_window
+        batch_mode = self.config.main_loop_mode == "batch"
+        # Producers of main-loop updates still in flight: their committed
+        # values have not reached every consumer, so the snapshot misses
+        # them — they must re-scatter in the branch.
+        inflight_producers = {
+            payload.producer
+            for payload in self.transport.unacked_payloads()
+            if isinstance(payload, VertexUpdate)
+            and payload.loop == MAIN_LOOP}
+        cost = self.config.control_cost
+        for vertex_id, state in main.vertices.items():
+            branch_state = VertexState(
+                vertex_id, self.app.program.snapshot_value(state.value),
+                set(state.targets), state.last_commit_iteration)
+            branch.vertices[vertex_id] = branch_state
+            protocol = VertexProtocol(vertex_id, iteration=0)
+            branch.protocols[vertex_id] = protocol
+            ctx = VertexContext(branch_state, msg.loop, 0)
+            if batch_mode:
+                # The main loop never propagated anything: every vertex
+                # touched by inputs since the last epoch is unreflected.
+                recently = vertex_id in changed
+            else:
+                # Approximate mode: old commits are already absorbed by
+                # their consumers; only pending work and in-flight
+                # scatters are unreflected in the snapshot.
+                main_protocol = main.protocols.get(vertex_id)
+                recently = (
+                    (main_protocol is not None
+                     and main_protocol.has_pending_work())
+                    or vertex_id in inflight_producers
+                    or state.last_commit_time >= window_start
+                    or vertex_id in main.buffered_inputs)
+            if msg.full_activation or self.app.program.activate_on_fork(
+                    ctx, recently):
+                protocol.dirty = True
+            cost += 1e-6  # per-vertex snapshot copy
+        # Updates parked by the delay bound were never gathered: fold them
+        # into the branch copies directly.
+        if not batch_mode:
+            for _iteration, _seq, update in main.buffered_updates:
+                if update.consumer not in branch.vertices:
+                    continue
+                b_state = branch.vertices[update.consumer]
+                b_protocol = branch.protocols[update.consumer]
+                b_ctx = VertexContext(b_state, msg.loop, 0)
+                if self.app.program.gather(b_ctx, update.producer,
+                                           update.data):
+                    b_protocol.dirty = True
+        # Kick the activated vertices off.
+        for vertex_id, protocol in branch.protocols.items():
+            if protocol.dirty:
+                cost += self._try_prepare(branch, vertex_id)
+        # Replay session traffic that arrived before the fork notice.
+        for orphan in self._orphans.pop(msg.loop, []):
+            self.deliver(orphan, self.name)
+        return cost
+
+    def _handle_merge(self, msg: MergeBranch) -> float:
+        """Write a converged branch's results into the main loop at
+        iteration τ+B (paper §5.2).  Values are read from the store, so
+        merging is robust to the branch state having been stopped."""
+        main = self.loops[MAIN_LOOP]
+        merged = 0
+        for vertex_id in self.store.keys(msg.loop):
+            if self.partition.owner(vertex_id) != self.name:
+                continue
+            found = self.store.get_version(msg.loop, vertex_id)
+            if found is None:
+                continue
+            _iteration, (value, targets) = found
+            state, protocol = self._ensure_vertex(main, vertex_id)
+            state.value = self.app.program.snapshot_value(value)
+            state.targets = set(targets)
+            state.last_commit_iteration = msg.target_iteration
+            if msg.target_iteration > protocol.iteration:
+                protocol.iteration = msg.target_iteration
+            self.store.put(MAIN_LOOP, vertex_id, msg.target_iteration,
+                           (self.app.program.snapshot_value(value),
+                            frozenset(targets)))
+            main.pending_flush += 1
+            merged += 1
+            if self.config.main_loop_mode == "approximate":
+                # Re-scatter the fixed point once so any consumer slot
+                # written by in-flight pre-merge traffic is healed.
+                protocol.dirty = True
+        cost = self.config.control_cost + 2e-6 * merged
+        if self.config.main_loop_mode == "approximate":
+            for vertex_id, protocol in list(main.protocols.items()):
+                if protocol.dirty and not protocol.preparing:
+                    cost += self._try_prepare(main, vertex_id)
+        return cost
+
+    # -------------------------------------------------------- rebalancing
+    def _handle_repartition(self, msg: Repartition) -> float:
+        """Hand moved vertices over: the old owner flushes its freshest
+        state into the store and forgets the vertex; the new owner adopts
+        lazily through :meth:`_ensure_vertex` (store-seeded) when the
+        first message for the vertex arrives."""
+        main = self.loops.get(MAIN_LOOP)
+        if main is None:
+            return self.config.control_cost
+        cost = self.config.control_cost
+        for vertex_id, new_owner in msg.moves:
+            if new_owner == self.name:
+                continue
+            state = main.vertices.pop(vertex_id, None)
+            main.protocols.pop(vertex_id, None)
+            main.recent_commit_counts.pop(vertex_id, None)
+            if state is None:
+                continue
+            version = (self.app.program.snapshot_value(state.value),
+                       frozenset(state.targets))
+            self.store.put(MAIN_LOOP, vertex_id,
+                           max(state.last_commit_iteration, main.frontier),
+                           version)
+            main.pending_flush += 1
+            cost += 2e-6
+        return cost
+
+    # ---------------------------------------------------------- reporting
+    def _report_tick(self) -> None:
+        if not self._report_timer_running or self.down:
+            return
+        self._flush_then_report()
+        self.sim.schedule(self.config.report_interval, self._report_tick)
+
+    def on_idle(self) -> None:
+        if (not self.down and not self._flush_in_flight
+                and self._work_since_report):
+            self._flush_then_report()
+
+    def _flush_then_report(self) -> None:
+        """Snapshot counters, flush the versions they cover, then report.
+        Progress the master sees is therefore always durable (paper §5.3)."""
+        if self._flush_in_flight:
+            return
+        self._work_since_report = False
+        snapshots = []
+        total_pending = 0
+        for loop in self.loops.values():
+            self._report_seq += 1
+            hot: tuple = ()
+            if loop.is_main and loop.recent_commit_counts:
+                ranked = sorted(loop.recent_commit_counts,
+                                key=loop.recent_commit_counts.get,
+                                reverse=True)
+                hot = tuple(ranked[:3])
+                loop.recent_commit_counts = {}
+            snapshots.append(ProgressReport(
+                loop=loop.name,
+                processor=self.name,
+                seq=self._report_seq,
+                counters={k: tuple(v) for k, v in loop.counters.items()},
+                watermark=loop.watermark(),
+                inputs_gathered=loop.inputs_gathered,
+                busy_time=self.busy_time,
+                hot_vertices=hot,
+                unacked=self.transport.pending_by_tag.get(loop.name, 0),
+                buffered=len(loop.buffered_updates),
+            ))
+            total_pending += loop.pending_flush
+            loop.pending_flush = 0
+        self._flush_in_flight = True
+        self.backend.flush(total_pending, self._send_reports, snapshots)
+
+    def _send_reports(self, snapshots: list[ProgressReport]) -> None:
+        self._flush_in_flight = False
+        if self.down:
+            return
+        for report in snapshots:
+            self.transport.send(self.master_name, report)
+
+    # ------------------------------------------------------------ recovery
+    def on_failure(self) -> None:
+        self.transport.clear()
+        self.loops = {}
+        self._orphans = {}
+        self._report_timer_running = False
+        self._flush_in_flight = False
+
+    def on_recover(self) -> None:
+        self.transport.send(self.master_name,
+                            ProcessorRecovered(self.name))
+        self.start()
+
+    def _handle_recover_loops(self, msg: RecoverLoops) -> float:
+        cost = self.config.control_cost
+        for loop_name, last_terminated in msg.loops:
+            if loop_name in self.loops:
+                continue
+            loop = LoopState(loop_name, loop_name == MAIN_LOOP)
+            loop.frontier = max(0, last_terminated + 1)
+            self.loops[loop_name] = loop
+            bound = last_terminated if last_terminated >= 0 else None
+            for vertex_id in self.store.keys(loop_name):
+                if self.partition.owner(vertex_id) != self.name:
+                    continue
+                found = self.store.get_version(loop_name, vertex_id, bound)
+                if found is None:
+                    continue
+                iteration, (value, targets) = found
+                state = VertexState(
+                    vertex_id, self.app.program.snapshot_value(value),
+                    set(targets), iteration)
+                protocol = VertexProtocol(
+                    vertex_id, iteration=max(iteration, loop.frontier))
+                # Re-scatter the checkpoint so downstream slots written by
+                # lost post-checkpoint commits are re-derived.
+                protocol.dirty = True
+                loop.vertices[vertex_id] = state
+                loop.protocols[vertex_id] = protocol
+                cost += 2e-6
+            for vertex_id, protocol in list(loop.protocols.items()):
+                if protocol.dirty:
+                    cost += self._try_prepare(loop, vertex_id)
+            for orphan in self._orphans.pop(loop_name, []):
+                self.deliver(orphan, self.name)
+        return cost

@@ -1,0 +1,120 @@
+"""Reliable at-least-once transport (paper §5.3).
+
+Storm's own acking cannot track Tornado's cyclic, amplifying tuple trees,
+so Tornado tracks message passing itself: every session/control message is
+wrapped in an :class:`Envelope`, the receiver acknowledges on delivery, and
+unacknowledged messages are retransmitted after a timeout.  Receivers
+de-duplicate by ``(sender, msg_id)``; duplicates that slip through a
+receiver restart are rendered harmless by the causality of the iteration
+model and the idempotence of ``gather``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.core.messages import Envelope, TransportAck, Unreliable
+from repro.simulator import Network, Simulator
+
+#: Per-sender dedup window; old entries are evicted FIFO.
+DEDUP_WINDOW = 65536
+
+
+class ReliableEndpoint:
+    """Transport state owned by one actor."""
+
+    def __init__(self, sim: Simulator, network: Network, owner: str,
+                 timeout: float = 0.5) -> None:
+        self.sim = sim
+        self.network = network
+        self.owner = owner
+        self.timeout = timeout
+        self._next_id = 0
+        self._outbox: dict[int, tuple[str, Any]] = {}
+        self._timers: dict[int, Any] = {}
+        self._tags: dict[int, str] = {}
+        #: Outstanding (sent, unacknowledged) messages per tag — used by
+        #: the quiescence detector to see per-loop in-flight traffic.
+        self.pending_by_tag: dict[str, int] = {}
+        self._seen: dict[str, OrderedDict[int, None]] = {}
+        self.retransmissions = 0
+        self.sent_reliable = 0
+
+    # ------------------------------------------------------------- sending
+    def send(self, dst: str, payload: Any, tag: str | None = None) -> None:
+        """Send with retransmission until acknowledged; an optional
+        ``tag`` groups the message into :attr:`pending_by_tag`."""
+        self._next_id += 1
+        msg_id = self._next_id
+        self._outbox[msg_id] = (dst, payload)
+        if tag is not None:
+            self._tags[msg_id] = tag
+            self.pending_by_tag[tag] = self.pending_by_tag.get(tag, 0) + 1
+        self.sent_reliable += 1
+        self.network.send(self.owner, dst, Envelope(msg_id, payload))
+        self._timers[msg_id] = self.sim.schedule(
+            self.timeout, self._retransmit, msg_id)
+
+    def send_unreliable(self, dst: str, payload: Any) -> None:
+        self.network.send(self.owner, dst, Unreliable(payload))
+
+    def _retransmit(self, msg_id: int) -> None:
+        entry = self._outbox.get(msg_id)
+        if entry is None:
+            return
+        dst, payload = entry
+        self.retransmissions += 1
+        self.network.send(self.owner, dst, Envelope(msg_id, payload))
+        self._timers[msg_id] = self.sim.schedule(
+            self.timeout, self._retransmit, msg_id)
+
+    # ----------------------------------------------------------- receiving
+    def on_message(self, message: Any, sender: str) -> Any:
+        """Unwrap a transport-level message.
+
+        Returns the application payload to process, or ``None`` when the
+        message was transport housekeeping or a duplicate.
+        """
+        if isinstance(message, TransportAck):
+            self._outbox.pop(message.msg_id, None)
+            timer = self._timers.pop(message.msg_id, None)
+            if timer is not None:
+                timer.cancel()
+            tag = self._tags.pop(message.msg_id, None)
+            if tag is not None:
+                self.pending_by_tag[tag] = max(
+                    0, self.pending_by_tag.get(tag, 0) - 1)
+            return None
+        if isinstance(message, Unreliable):
+            return message.payload
+        if isinstance(message, Envelope):
+            self.network.send(self.owner, sender,
+                              TransportAck(message.msg_id))
+            seen = self._seen.setdefault(sender, OrderedDict())
+            if message.msg_id in seen:
+                return None
+            seen[message.msg_id] = None
+            while len(seen) > DEDUP_WINDOW:
+                seen.popitem(last=False)
+            return message.payload
+        return message
+
+    # ------------------------------------------------------------ lifecycle
+    def clear(self) -> None:
+        """Drop all transport state (crash semantics)."""
+        self._outbox.clear()
+        self._seen.clear()
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        self._tags.clear()
+        self.pending_by_tag.clear()
+
+    @property
+    def unacked(self) -> int:
+        return len(self._outbox)
+
+    def unacked_payloads(self) -> list[Any]:
+        """Payloads still awaiting acknowledgement (in flight)."""
+        return [payload for _dst, payload in self._outbox.values()]

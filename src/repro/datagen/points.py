@@ -1,0 +1,37 @@
+"""Clustering points (stands in for the paper's 20D-points dataset).
+
+The paper generated its dataset "by choosing some initial points in the
+space and using a normal random generator to pick up points around them" —
+this module does exactly that, seeded and scaled down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gaussian_mixture(n_points: int, k: int = 8, dim: int = 20,
+                     spread: float = 10.0, noise: float = 1.0,
+                     seed: int = 0,
+                     drift: float = 0.0
+                     ) -> tuple[list[np.ndarray], np.ndarray]:
+    """Points around ``k`` Gaussian centres.
+
+    Returns ``(points, true_centres)``.  With ``drift > 0`` the centres
+    move linearly over the course of the stream, producing an *evolving*
+    model for the adaptation experiments.
+    """
+    if n_points < 1 or k < 1:
+        raise ValueError("n_points and k must be positive")
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(-spread, spread, size=(k, dim))
+    directions = rng.normal(size=(k, dim))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    directions = directions / np.where(norms == 0, 1.0, norms)
+    assignments = rng.integers(0, k, size=n_points)
+    points = []
+    for index, cluster in enumerate(assignments):
+        progress = index / max(1, n_points - 1)
+        centre = centres[cluster] + drift * progress * directions[cluster]
+        points.append(centre + rng.normal(scale=noise, size=dim))
+    return points, centres

@@ -1,0 +1,29 @@
+"""Exception hierarchy shared across the repro library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class TopologyError(ReproError):
+    """A stream topology is malformed (unknown component, bad grouping...)."""
+
+
+class ProtocolError(ReproError):
+    """The three-phase update protocol reached an inconsistent state."""
+
+
+class StorageError(ReproError):
+    """The versioned state store rejected an operation."""
+
+
+class ConvergenceError(ReproError):
+    """A loop failed to converge within its iteration budget."""
+
+
+class QueryError(ReproError):
+    """A user query could not be answered (unknown branch, not converged...)."""

@@ -1,0 +1,30 @@
+"""Deterministic discrete-event cluster simulator.
+
+This package replaces the 20-node Storm cluster of the original paper: it
+models single-threaded workers (:class:`Actor`), a shared network fabric
+with latency and a throughput ceiling (:class:`Network`), per-node disks
+(:class:`SimulatedDisk`) and crash/recovery injection
+(:class:`FailureInjector`), all driven by one virtual clock
+(:class:`Simulator`).
+"""
+
+from repro.simulator.actors import Actor
+from repro.simulator.disk import SimulatedDisk
+from repro.simulator.events import Event, EventQueue
+from repro.simulator.failures import FailureInjector, FailureLog
+from repro.simulator.kernel import Simulator
+from repro.simulator.network import Network, NetworkStats
+from repro.simulator.randomness import RandomStreams
+
+__all__ = [
+    "Actor",
+    "Event",
+    "EventQueue",
+    "FailureInjector",
+    "FailureLog",
+    "Network",
+    "NetworkStats",
+    "RandomStreams",
+    "SimulatedDisk",
+    "Simulator",
+]

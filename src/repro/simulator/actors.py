@@ -1,0 +1,110 @@
+"""Actors: simulated single-threaded processes.
+
+An actor models one worker thread on a cluster node.  Messages delivered to
+it queue in an inbox; the actor serves them one at a time, and serving a
+message costs virtual time (returned by :meth:`Actor.handle`).  This is what
+creates queueing delay, stragglers and back-pressure in the experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.simulator.kernel import Simulator
+
+
+class Actor:
+    """Base class for simulated processes.
+
+    Subclasses override :meth:`handle` and return the virtual-time cost of
+    processing each message.  Messages sent while handling are stamped with
+    the service start time.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.down = False
+        self.inbox: deque[tuple[Any, str]] = deque()
+        # Messages classified urgent are served before the backlog
+        # (Tornado uses this to run branch loops ahead of main-loop load,
+        # mirroring the paper's "idle processors execute the branch").
+        self.inbox_urgent: deque[tuple[Any, str]] = deque()
+        self._serving = False
+        self.messages_handled = 0
+        self.busy_time = 0.0
+        # Multiplier on every handling cost; >1 models a slow node.
+        self.speed_factor = 1.0
+        sim.register(self)
+
+    # ------------------------------------------------------------- delivery
+    def deliver(self, message: Any, sender: str) -> None:
+        """Called by the network (or a local sender) when a message arrives.
+        Messages arriving while the actor is down are lost."""
+        if self.down:
+            return
+        if self.classify(message) > 0:
+            self.inbox_urgent.append((message, sender))
+        else:
+            self.inbox.append((message, sender))
+        if not self._serving:
+            self._serving = True
+            self.sim.schedule(0.0, self._serve_next)
+
+    def classify(self, message: Any) -> int:
+        """Return > 0 to serve ``message`` ahead of the normal backlog."""
+        return 0
+
+    def _serve_next(self) -> None:
+        if self.down:
+            self._serving = False
+            return
+        if not self.inbox and not self.inbox_urgent:
+            self._serving = False
+            self.on_idle()
+            return
+        if self.inbox_urgent:
+            message, sender = self.inbox_urgent.popleft()
+        else:
+            message, sender = self.inbox.popleft()
+        self.messages_handled += 1
+        cost = self.handle(message, sender) or 0.0
+        cost *= self.speed_factor
+        self.busy_time += cost
+        self.sim.schedule(cost, self._serve_next)
+
+    # ------------------------------------------------------------ lifecycle
+    def fail(self) -> None:
+        """Crash: lose the inbox and stop serving."""
+        self.down = True
+        self.inbox.clear()
+        self.inbox_urgent.clear()
+        self._serving = False
+        self.on_failure()
+
+    def recover(self) -> None:
+        """Restart after a crash."""
+        self.down = False
+        self.on_recover()
+        if (self.inbox or self.inbox_urgent) and not self._serving:
+            self._serving = True
+            self.sim.schedule(0.0, self._serve_next)
+
+    # ----------------------------------------------------------- overrides
+    def handle(self, message: Any, sender: str) -> float:
+        """Process one message; return its virtual-time cost in seconds."""
+        raise NotImplementedError
+
+    def on_idle(self) -> None:
+        """Hook invoked when the inbox drains."""
+
+    def on_failure(self) -> None:
+        """Hook invoked when the actor crashes."""
+
+    def on_recover(self) -> None:
+        """Hook invoked when the actor restarts."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "down" if self.down else "up"
+        return f"{type(self).__name__}({self.name!r}, {state})"

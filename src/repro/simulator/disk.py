@@ -1,0 +1,66 @@
+"""Simulated disks.
+
+Tornado flushes every version produced in an iteration before reporting
+progress, so disk behaviour is first-order for the synchronous-vs-
+asynchronous results (paper §6.3).  A disk serialises requests: each write
+pays a fixed seek plus a per-record transfer cost, and requests queue behind
+one another.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.simulator.kernel import Simulator
+
+
+class SimulatedDisk:
+    """One spindle (or SSD namespace) attached to a simulated node.
+
+    Parameters
+    ----------
+    seek_cost:
+        Fixed virtual-time cost per request (seconds).
+    record_cost:
+        Marginal cost per record written or read (seconds).
+    """
+
+    def __init__(self, sim: Simulator, name: str, seek_cost: float = 2e-3,
+                 record_cost: float = 2e-6) -> None:
+        self.sim = sim
+        self.name = name
+        self.seek_cost = seek_cost
+        self.record_cost = record_cost
+        self._free_at = 0.0
+        self.records_written = 0
+        self.records_read = 0
+        self.requests = 0
+        self.busy_time = 0.0
+
+    def _submit(self, n_records: int,
+                callback: Callable[..., Any] | None,
+                args: tuple) -> float:
+        duration = self.seek_cost + self.record_cost * max(0, n_records)
+        start = max(self.sim.now, self._free_at)
+        self._free_at = start + duration
+        self.requests += 1
+        self.busy_time += duration
+        completion = self._free_at
+        if callback is not None:
+            self.sim.schedule_at(completion, callback, *args)
+        return completion
+
+    def write(self, n_records: int,
+              callback: Callable[..., Any] | None = None,
+              *args: Any) -> float:
+        """Queue a write of ``n_records``; returns the completion time and
+        optionally schedules ``callback(*args)`` at that time."""
+        self.records_written += max(0, n_records)
+        return self._submit(n_records, callback, args)
+
+    def read(self, n_records: int,
+             callback: Callable[..., Any] | None = None,
+             *args: Any) -> float:
+        """Queue a read of ``n_records``; same contract as :meth:`write`."""
+        self.records_read += max(0, n_records)
+        return self._submit(n_records, callback, args)

@@ -1,0 +1,57 @@
+"""Failure injection.
+
+Schedules crashes and recoveries of actors on the virtual timeline; the
+fault-tolerance experiments (paper §6.3.2, Figures 8c/8d) are driven through
+this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.simulator.kernel import Simulator
+
+
+@dataclass
+class FailureRecord:
+    actor: str
+    failed_at: float
+    recovered_at: float | None = None
+
+
+@dataclass
+class FailureLog:
+    records: list[FailureRecord] = field(default_factory=list)
+
+
+class FailureInjector:
+    """Kill and recover actors at chosen virtual instants."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.log = FailureLog()
+
+    def kill_at(self, time: float, actor_name: str,
+                recover_after: float | None = None) -> None:
+        """Crash ``actor_name`` at ``time``; optionally restart it
+        ``recover_after`` seconds later."""
+        if time < self.sim.now:
+            raise SimulationError("cannot schedule a failure in the past")
+        record = FailureRecord(actor_name, failed_at=time)
+        self.log.records.append(record)
+        self.sim.schedule_at(time, self._kill, actor_name)
+        if recover_after is not None:
+            self.sim.schedule_at(time + recover_after, self._recover,
+                                 actor_name, record)
+
+    def kill_now(self, actor_name: str,
+                 recover_after: float | None = None) -> None:
+        self.kill_at(self.sim.now, actor_name, recover_after)
+
+    def _kill(self, actor_name: str) -> None:
+        self.sim.actor(actor_name).fail()
+
+    def _recover(self, actor_name: str, record: FailureRecord) -> None:
+        record.recovered_at = self.sim.now
+        self.sim.actor(actor_name).recover()

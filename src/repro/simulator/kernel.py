@@ -1,0 +1,126 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns the virtual clock, the event queue and the actor
+registry.  Everything above it — the Storm layer, the Tornado runtime, the
+baseline engines — advances time exclusively by scheduling events, which
+makes every experiment in this repository fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import SimulationError
+from repro.simulator.events import Event, EventQueue
+from repro.simulator.randomness import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.actors import Actor
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all named random streams.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self.random = RandomStreams(seed)
+        self.actors: dict[str, "Actor"] = {}
+        self._events_processed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        return self._queue.push(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self._now}")
+        return self._queue.push(time, callback, *args)
+
+    # --------------------------------------------------------------- actors
+    def register(self, actor: "Actor") -> None:
+        if actor.name in self.actors:
+            raise SimulationError(f"duplicate actor name: {actor.name!r}")
+        self.actors[actor.name] = actor
+
+    def actor(self, name: str) -> "Actor":
+        try:
+            return self.actors[name]
+        except KeyError:
+            raise SimulationError(f"unknown actor: {name!r}") from None
+
+    # -------------------------------------------------------------- running
+    def stop(self) -> None:
+        """Request the current :meth:`run` call to return after the event
+        being processed."""
+        self._stopped = True
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> float:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the clock value on exit."""
+        self._stopped = False
+        budget = max_events if max_events is not None else float("inf")
+        while not self._stopped and budget > 0:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            event = self._queue.pop()
+            assert event is not None
+            self._now = event.time
+            self._events_processed += 1
+            budget -= 1
+            event.callback(*event.args)
+        return self._now
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_events: int = 50_000_000) -> float:
+        """Process events until ``predicate()`` becomes true.
+
+        Raises :class:`SimulationError` if the queue drains or the event
+        budget is exhausted first.
+        """
+        budget = max_events
+        while budget > 0:
+            if predicate():
+                return self._now
+            event = self._queue.pop()
+            if event is None:
+                raise SimulationError(
+                    "event queue drained before predicate became true")
+            self._now = event.time
+            self._events_processed += 1
+            budget -= 1
+            event.callback(*event.args)
+        raise SimulationError(f"predicate not reached in {max_events} events")
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,141 @@
+"""Simulated cluster network.
+
+Messages between actors pay a base latency plus optional jitter, and the
+fabric as a whole has a finite message capacity: once senders exceed it,
+delivery times queue behind one another, which is what produces the
+throughput ceiling in the paper's Figure 9b.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.simulator.kernel import Simulator
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters plus a per-bucket time series used for
+    messages-per-second measurements."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    remote_sent: int = 0
+    bucket_width: float = 1.0
+    buckets: dict[int, int] = field(default_factory=dict)
+    remote_buckets: dict[int, int] = field(default_factory=dict)
+
+    def record_sent(self, time: float) -> None:
+        self.sent += 1
+        self.buckets[int(time // self.bucket_width)] = (
+            self.buckets.get(int(time // self.bucket_width), 0) + 1)
+
+    def record_remote(self, time: float) -> None:
+        self.remote_sent += 1
+        bucket = int(time // self.bucket_width)
+        self.remote_buckets[bucket] = self.remote_buckets.get(bucket, 0) + 1
+
+    def peak_messages_per_second(self) -> float:
+        if not self.buckets:
+            return 0.0
+        return max(self.buckets.values()) / self.bucket_width
+
+    def peak_remote_messages_per_second(self) -> float:
+        """Peak rate over the *fabric* (messages that consume capacity)."""
+        if not self.remote_buckets:
+            return 0.0
+        return max(self.remote_buckets.values()) / self.bucket_width
+
+    def mean_messages_per_second(self, start: float, end: float) -> float:
+        if end <= start:
+            return 0.0
+        lo, hi = int(start // self.bucket_width), int(end // self.bucket_width)
+        total = sum(count for bucket, count in self.buckets.items()
+                    if lo <= bucket <= hi)
+        return total / (end - start)
+
+
+class Network:
+    """Message fabric connecting every actor of a :class:`Simulator`.
+
+    Parameters
+    ----------
+    latency:
+        One-way delivery latency in virtual seconds.
+    jitter:
+        Uniform jitter added on top of ``latency``.
+    capacity:
+        Fabric-wide throughput ceiling in messages per virtual second
+        (``None`` = infinite).
+    local_latency:
+        Latency for messages whose source and destination share a node
+        (see :meth:`colocate`).
+    """
+
+    def __init__(self, sim: Simulator, latency: float = 5e-4,
+                 jitter: float = 0.0, capacity: float | None = None,
+                 local_latency: float = 5e-5) -> None:
+        self.sim = sim
+        self.latency = latency
+        self.jitter = jitter
+        self.capacity = capacity
+        self.local_latency = local_latency
+        self.stats = NetworkStats()
+        self._rng = sim.random.stream("network")
+        self._next_free = 0.0
+        self._placement: dict[str, str] = {}
+        self._blocked: set[tuple[str, str]] = set()
+
+    # ------------------------------------------------------------ placement
+    def colocate(self, actor_name: str, node: str) -> None:
+        """Pin an actor to a physical node; intra-node messages are cheap
+        and do not consume fabric capacity."""
+        self._placement[actor_name] = node
+
+    def _is_local(self, src: str, dst: str) -> bool:
+        node_src = self._placement.get(src)
+        return node_src is not None and node_src == self._placement.get(dst)
+
+    # ----------------------------------------------------------- partitions
+    def block(self, src: str, dst: str) -> None:
+        """Drop all messages from ``src`` to ``dst`` (network partition)."""
+        self._blocked.add((src, dst))
+
+    def unblock(self, src: str, dst: str) -> None:
+        self._blocked.discard((src, dst))
+
+    # ------------------------------------------------------------- sending
+    def send(self, src: str, dst: str, message: Any) -> None:
+        """Deliver ``message`` from actor ``src`` to actor ``dst`` after the
+        modelled delay.  Messages to a crashed actor are silently lost, as
+        on a real network."""
+        now = self.sim.now
+        self.stats.record_sent(now)
+        if (src, dst) in self._blocked:
+            self.stats.dropped += 1
+            return
+        if self._is_local(src, dst):
+            delay = self.local_latency
+        else:
+            self.stats.record_remote(now)
+            delay = self.latency
+            if self.jitter:
+                delay += float(self._rng.random()) * self.jitter
+            if self.capacity is not None:
+                depart = max(now, self._next_free)
+                self._next_free = depart + 1.0 / self.capacity
+                delay += depart - now
+        if not math.isfinite(delay):
+            delay = self.latency
+        self.sim.schedule(delay, self._deliver, dst, message, src)
+
+    def _deliver(self, dst: str, message: Any, src: str) -> None:
+        actor = self.sim.actors.get(dst)
+        if actor is None or actor.down:
+            self.stats.dropped += 1
+            return
+        self.stats.delivered += 1
+        actor.deliver(message, src)

@@ -1,0 +1,14 @@
+"""Versioned state storage: the paper's "distributed database" box."""
+
+from repro.storage.backends import (DiskBackend, InMemoryBackend,
+                                    StorageBackend)
+from repro.storage.checkpoint import CheckpointManifest
+from repro.storage.versioned import VersionedStore
+
+__all__ = [
+    "CheckpointManifest",
+    "DiskBackend",
+    "InMemoryBackend",
+    "StorageBackend",
+    "VersionedStore",
+]

@@ -1,0 +1,135 @@
+"""Versioned vertex-state store.
+
+Tornado materialises every committed vertex version in external storage
+(paper §5.1: PostgreSQL / LMDB).  The store keeps, per ``(loop, key)``, the
+chain of ``(iteration, value)`` versions.  Branch loops snapshot the main
+loop by reading, for each vertex, the most recent version whose iteration is
+not greater than the fork iteration (paper §5.2).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import StorageError
+
+
+@dataclass
+class _Chain:
+    """Version chain for one key: parallel arrays sorted by iteration."""
+
+    iterations: list[int] = field(default_factory=list)
+    values: list[Any] = field(default_factory=list)
+
+    def put(self, iteration: int, value: Any) -> None:
+        index = bisect.bisect_left(self.iterations, iteration)
+        if index < len(self.iterations) and self.iterations[index] == iteration:
+            self.values[index] = value
+        else:
+            self.iterations.insert(index, iteration)
+            self.values.insert(index, value)
+
+    def latest(self, max_iteration: int | None = None) -> tuple[int, Any] | None:
+        if not self.iterations:
+            return None
+        if max_iteration is None:
+            return self.iterations[-1], self.values[-1]
+        index = bisect.bisect_right(self.iterations, max_iteration) - 1
+        if index < 0:
+            return None
+        return self.iterations[index], self.values[index]
+
+    def truncate_before(self, iteration: int) -> int:
+        """Drop versions strictly older than the newest version that is
+        ≤ ``iteration`` (that one must stay readable).  Returns #dropped."""
+        keep_from = bisect.bisect_right(self.iterations, iteration) - 1
+        if keep_from <= 0:
+            return 0
+        del self.iterations[:keep_from]
+        del self.values[:keep_from]
+        return keep_from
+
+
+class VersionedStore:
+    """Multi-loop, multi-version key-value store.
+
+    Keys are namespaced by ``loop`` (the main loop and each branch loop get
+    their own namespace).  All values are stored by reference; callers own
+    immutability of committed values.
+    """
+
+    def __init__(self) -> None:
+        self._chains: dict[tuple[str, Any], _Chain] = {}
+        self.puts = 0
+        self.reads = 0
+
+    # -------------------------------------------------------------- writes
+    def put(self, loop: str, key: Any, iteration: int, value: Any) -> None:
+        """Record ``value`` as the version of ``key`` at ``iteration``."""
+        if iteration < 0:
+            raise StorageError(f"negative iteration: {iteration}")
+        self.puts += 1
+        chain = self._chains.get((loop, key))
+        if chain is None:
+            chain = self._chains[(loop, key)] = _Chain()
+        chain.put(iteration, value)
+
+    # --------------------------------------------------------------- reads
+    def get(self, loop: str, key: Any,
+            max_iteration: int | None = None) -> Any:
+        """Most recent value of ``key`` with iteration ≤ ``max_iteration``
+        (or the newest overall).  Raises :class:`StorageError` if absent."""
+        found = self.get_version(loop, key, max_iteration)
+        if found is None:
+            raise StorageError(f"no version of {key!r} in loop {loop!r}"
+                               f" at iteration <= {max_iteration}")
+        return found[1]
+
+    def get_version(self, loop: str, key: Any,
+                    max_iteration: int | None = None
+                    ) -> tuple[int, Any] | None:
+        self.reads += 1
+        chain = self._chains.get((loop, key))
+        if chain is None:
+            return None
+        return chain.latest(max_iteration)
+
+    def keys(self, loop: str) -> list[Any]:
+        """Keys of a loop, as a snapshot list (callers may mutate the store
+        while walking it)."""
+        return [key for chain_loop, key in self._chains
+                if chain_loop == loop]
+
+    def snapshot(self, loop: str,
+                 max_iteration: int | None = None) -> dict[Any, Any]:
+        """Consistent view of a loop: per key, latest version ≤ bound.
+        This is exactly the branch-loop fork read (paper §5.2)."""
+        view: dict[Any, Any] = {}
+        for key in self.keys(loop):
+            found = self.get_version(loop, key, max_iteration)
+            if found is not None:
+                view[key] = found[1]
+        return view
+
+    # ------------------------------------------------------------ lifecycle
+    def drop_loop(self, loop: str) -> int:
+        """Delete every version of a loop (branch-loop teardown)."""
+        doomed = [pair for pair in self._chains if pair[0] == loop]
+        for pair in doomed:
+            del self._chains[pair]
+        return len(doomed)
+
+    def truncate_before(self, loop: str, iteration: int) -> int:
+        """Garbage-collect versions no snapshot at ≥ ``iteration`` can see."""
+        dropped = 0
+        for (chain_loop, _key), chain in self._chains.items():
+            if chain_loop == loop:
+                dropped += chain.truncate_before(iteration)
+        return dropped
+
+    def version_count(self, loop: str | None = None) -> int:
+        return sum(len(chain.iterations)
+                   for (chain_loop, _key), chain in self._chains.items()
+                   if loop is None or chain_loop == loop)

@@ -1,0 +1,45 @@
+"""A miniature Apache Storm on the discrete-event simulator.
+
+Provides the substrate Tornado is built on (paper §5): spouts, bolts,
+stream groupings, topologies, XOR-based tuple-tree acking with replay, and
+supervised task restart.
+"""
+
+from repro.storm.acker import Acker
+from repro.storm.cluster import (ClusterConfig, LocalCluster, TaskContext,
+                                 TaskMetrics)
+from repro.storm.components import Bolt, OutputCollector, Spout
+from repro.storm.groupings import (AllGrouping, DirectGrouping,
+                                   FieldsGrouping, GlobalGrouping, Grouping,
+                                   ShuffleGrouping)
+from repro.storm.topology import (BoltDeclarer, ComponentSpec, Subscription,
+                                  Topology, TopologyBuilder)
+from repro.storm.tuples import (DEFAULT_STREAM, SYSTEM_COMPONENT,
+                                TICK_STREAM, StormTuple, is_tick)
+
+__all__ = [
+    "Acker",
+    "AllGrouping",
+    "Bolt",
+    "BoltDeclarer",
+    "ClusterConfig",
+    "ComponentSpec",
+    "DEFAULT_STREAM",
+    "DirectGrouping",
+    "FieldsGrouping",
+    "GlobalGrouping",
+    "Grouping",
+    "LocalCluster",
+    "OutputCollector",
+    "ShuffleGrouping",
+    "Spout",
+    "StormTuple",
+    "SYSTEM_COMPONENT",
+    "TICK_STREAM",
+    "is_tick",
+    "Subscription",
+    "TaskContext",
+    "TaskMetrics",
+    "Topology",
+    "TopologyBuilder",
+]

@@ -1,0 +1,85 @@
+"""The acker: Storm's XOR tuple-tree tracker.
+
+Every spout tuple registers its root id here.  Each anchored emit XORs the
+child's id into the root's checksum, and each ack XORs the acked tuple's id
+out.  The checksum hits zero exactly when every tuple in the tree has been
+both emitted and acked, at which point the spout is told the tree completed.
+Trees that do not complete within the timeout are failed back to the spout,
+which triggers replay (at-least-once delivery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.simulator import Actor, Network, Simulator
+
+ACK_INIT = "ack_init"
+ACK_VAL = "ack_val"
+ACK_FAIL = "ack_fail"
+TREE_DONE = "tree_done"
+TREE_FAILED = "tree_failed"
+
+
+@dataclass
+class _PendingTree:
+    spout_task: str
+    message_id: Any
+    checksum: int
+    started_at: float
+
+
+class Acker(Actor):
+    """One acker task per topology (Storm defaults to one per worker; one is
+    enough for the simulated scale)."""
+
+    def __init__(self, sim: Simulator, name: str, network: Network,
+                 tuple_timeout: float = 30.0,
+                 ack_cost: float = 1e-6) -> None:
+        super().__init__(sim, name)
+        self.network = network
+        self.tuple_timeout = tuple_timeout
+        self.ack_cost = ack_cost
+        self._pending: dict[int, _PendingTree] = {}
+        self.completed = 0
+        self.failed = 0
+
+    def handle(self, message: tuple, sender: str) -> float:
+        kind = message[0]
+        if kind == ACK_INIT:
+            _, root_id, spout_task, message_id = message
+            self._pending[root_id] = _PendingTree(
+                spout_task, message_id, root_id, self.sim.now)
+            self.sim.schedule(self.tuple_timeout, self._check_timeout,
+                              root_id, self.sim.now)
+        elif kind == ACK_VAL:
+            _, root_id, value = message
+            tree = self._pending.get(root_id)
+            if tree is not None:
+                tree.checksum ^= value
+                if tree.checksum == 0:
+                    self._finish(root_id, TREE_DONE)
+        elif kind == ACK_FAIL:
+            _, root_id = message
+            if root_id in self._pending:
+                self._finish(root_id, TREE_FAILED)
+        return self.ack_cost
+
+    def _finish(self, root_id: int, outcome: str) -> None:
+        tree = self._pending.pop(root_id)
+        if outcome == TREE_DONE:
+            self.completed += 1
+        else:
+            self.failed += 1
+        self.network.send(self.name, tree.spout_task,
+                          (outcome, tree.message_id))
+
+    def _check_timeout(self, root_id: int, started_at: float) -> None:
+        tree = self._pending.get(root_id)
+        if tree is not None and tree.started_at == started_at:
+            self._finish(root_id, TREE_FAILED)
+
+    @property
+    def pending_trees(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,289 @@
+"""The local cluster: maps a topology onto simulator actors.
+
+Each task (one parallel instance of a component) becomes one single-threaded
+:class:`Actor`; tasks are placed round-robin across simulated nodes, so
+traffic between co-located tasks is cheap while cross-node traffic pays
+fabric latency and consumes fabric capacity.  A supervisor heartbeat restarts
+crashed tasks, mirroring Storm's worker monitoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import TopologyError
+from repro.simulator import Actor, Network, Simulator
+from repro.storm import acker as ack_msgs
+from repro.storm.acker import Acker
+from repro.storm.components import Bolt, OutputCollector, Spout
+from repro.storm.groupings import DirectGrouping
+from repro.storm.topology import Topology
+from repro.storm.tuples import (SYSTEM_COMPONENT, TICK_STREAM, StormTuple)
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs shared by every task of a submitted topology."""
+
+    n_nodes: int = 4
+    ack_enabled: bool = True
+    tuple_timeout: float = 30.0
+    spout_poll_interval: float = 1e-3
+    spout_emit_cost: float = 1e-5
+    routing_cost: float = 1e-6
+
+
+@dataclass
+class TaskMetrics:
+    emitted: int = 0
+    executed: int = 0
+    acked: int = 0
+    failed: int = 0
+
+
+class TaskContext:
+    """Per-task view of the cluster handed to user components."""
+
+    def __init__(self, cluster: "LocalCluster", component: str,
+                 task_index: int, actor_name: str) -> None:
+        self.cluster = cluster
+        self.component = component
+        self.task_index = task_index
+        self.actor_name = actor_name
+        self.metrics = TaskMetrics()
+
+    @property
+    def sim(self) -> Simulator:
+        return self.cluster.sim
+
+    @property
+    def parallelism(self) -> int:
+        return self.cluster.topology.components[self.component].parallelism
+
+    def peer_name(self, component: str, task_index: int) -> str:
+        return self.cluster.task_name(component, task_index)
+
+    # -------------------------------------------------------------- emits
+    def emit(self, values: dict[str, Any], stream: str,
+             anchors: tuple[StormTuple, ...],
+             direct_task: int | None) -> StormTuple:
+        return self.cluster.route(self, values, stream, anchors, direct_task)
+
+    def ack(self, tup: StormTuple) -> None:
+        self.metrics.acked += 1
+        if self.cluster.config.ack_enabled and tup.root_id is not None:
+            self.cluster.network.send(
+                self.actor_name, self.cluster.acker_name,
+                (ack_msgs.ACK_VAL, tup.root_id, tup.tuple_id))
+
+    def fail(self, tup: StormTuple) -> None:
+        self.metrics.failed += 1
+        if self.cluster.config.ack_enabled and tup.root_id is not None:
+            self.cluster.network.send(
+                self.actor_name, self.cluster.acker_name,
+                (ack_msgs.ACK_FAIL, tup.root_id))
+
+
+class _SpoutExecutor(Actor):
+    """Drives one spout task: poll, emit, receive tree outcomes."""
+
+    POLL = ("__poll__",)
+
+    def __init__(self, sim: Simulator, name: str, spout: Spout,
+                 ctx: TaskContext, config: ClusterConfig) -> None:
+        super().__init__(sim, name)
+        self.spout = spout
+        self.ctx = ctx
+        self.config = config
+        self._poll_scheduled = False
+
+    def start(self) -> None:
+        self.spout.open(self.ctx, OutputCollector(self.ctx))
+        self.deliver(self.POLL, self.name)
+
+    def handle(self, message: Any, sender: str) -> float:
+        if message == self.POLL:
+            emitted = self.spout.next_tuple()
+            if emitted:
+                self.deliver(self.POLL, self.name)
+                return self.config.spout_emit_cost
+            self.sim.schedule(self.config.spout_poll_interval,
+                              self.deliver, self.POLL, self.name)
+            return 0.0
+        kind, message_id = message
+        if kind == ack_msgs.TREE_DONE:
+            self.spout.ack(message_id)
+        elif kind == ack_msgs.TREE_FAILED:
+            self.spout.fail(message_id)
+        return self.config.spout_emit_cost
+
+
+class _BoltExecutor(Actor):
+    """Drives one bolt task."""
+
+    def __init__(self, sim: Simulator, name: str, bolt: Bolt,
+                 ctx: TaskContext) -> None:
+        super().__init__(sim, name)
+        self.bolt = bolt
+        self.ctx = ctx
+
+    def start(self) -> None:
+        self.bolt.prepare(self.ctx, OutputCollector(self.ctx))
+
+    def handle(self, message: Any, sender: str) -> float:
+        self.ctx.metrics.executed += 1
+        return self.bolt.execute(message) or 0.0
+
+
+class LocalCluster:
+    """Runs topologies on the discrete-event simulator."""
+
+    def __init__(self, sim: Simulator, network: Network | None = None,
+                 config: ClusterConfig | None = None) -> None:
+        self.sim = sim
+        self.network = network if network is not None else Network(sim)
+        self.config = config if config is not None else ClusterConfig()
+        self.topology: Topology | None = None
+        self.contexts: dict[str, TaskContext] = {}
+        self.executors: dict[str, Actor] = {}
+        self.acker_name = ""
+        self._tuple_rng = sim.random.stream("storm-tuple-ids")
+        self._supervised = False
+
+    # ------------------------------------------------------------- naming
+    def task_name(self, component: str, task_index: int) -> str:
+        assert self.topology is not None
+        return f"{self.topology.name}:{component}[{task_index}]"
+
+    # ------------------------------------------------------------- submit
+    def submit(self, topology: Topology) -> None:
+        if self.topology is not None:
+            raise TopologyError("this cluster already runs a topology")
+        self.topology = topology
+        self.acker_name = f"{topology.name}:__acker"
+        acker = Acker(self.sim, self.acker_name, self.network,
+                      tuple_timeout=self.config.tuple_timeout)
+        self.network.colocate(self.acker_name, "node0")
+        self.executors[self.acker_name] = acker
+        node = 0
+        starters = []
+        for spec in topology.components.values():
+            for index in range(spec.parallelism):
+                name = self.task_name(spec.name, index)
+                ctx = TaskContext(self, spec.name, index, name)
+                component = spec.factory()
+                if spec.is_spout:
+                    executor: Actor = _SpoutExecutor(
+                        self.sim, name, component, ctx, self.config)
+                else:
+                    executor = _BoltExecutor(self.sim, name, component, ctx)
+                self.network.colocate(name, f"node{node % self.config.n_nodes}")
+                node += 1
+                self.contexts[name] = ctx
+                self.executors[name] = executor
+                starters.append(executor)
+        for executor in starters:
+            executor.start()  # type: ignore[attr-defined]
+        for spec in topology.components.values():
+            if spec.tick_interval is not None:
+                for index in range(spec.parallelism):
+                    self.sim.schedule(spec.tick_interval, self._tick,
+                                      spec.name, index,
+                                      spec.tick_interval)
+
+    def _tick(self, component: str, index: int, interval: float) -> None:
+        executor = self.executors.get(self.task_name(component, index))
+        if executor is not None and not executor.down:
+            tick = StormTuple(SYSTEM_COMPONENT, TICK_STREAM, {},
+                              self.new_tuple_id())
+            executor.deliver(tick, SYSTEM_COMPONENT)
+        self.sim.schedule(interval, self._tick, component, index, interval)
+
+    # ------------------------------------------------------------- routing
+    def new_tuple_id(self) -> int:
+        return int(self._tuple_rng.integers(1, 2**62))
+
+    def route(self, ctx: TaskContext, values: dict[str, Any], stream: str,
+              anchors: tuple[StormTuple, ...],
+              direct_task: int | None) -> StormTuple:
+        """Create a tuple and deliver it to every subscribed task."""
+        assert self.topology is not None
+        tuple_id = self.new_tuple_id()
+        root_id = None
+        message_id = values.get("__message_id__")
+        spec = self.topology.components[ctx.component]
+        if self.config.ack_enabled:
+            if spec.is_spout and message_id is not None:
+                root_id = tuple_id
+            elif anchors:
+                root_id = anchors[0].root_id
+        tup = StormTuple(ctx.component, stream, values, tuple_id, root_id,
+                         tuple(anchor.tuple_id for anchor in anchors))
+        ctx.metrics.emitted += 1
+        if root_id is not None and spec.is_spout:
+            self.network.send(ctx.actor_name, self.acker_name,
+                              (ack_msgs.ACK_INIT, root_id, ctx.actor_name,
+                               message_id))
+        if root_id is not None and anchors:
+            # XOR the child into its root's checksum (once per root; all
+            # anchors of a tuple share the root in this implementation).
+            self.network.send(ctx.actor_name, self.acker_name,
+                              (ack_msgs.ACK_VAL, root_id, tuple_id))
+        for target_spec, grouping in self.topology.subscribers(
+                ctx.component, stream):
+            if isinstance(grouping, DirectGrouping):
+                if direct_task is None:
+                    continue
+                targets: tuple[int, ...] = (direct_task,)
+            else:
+                targets = tuple(
+                    grouping.targets(tup, target_spec.parallelism))
+            for task_index in targets:
+                self.network.send(ctx.actor_name,
+                                  self.task_name(target_spec.name,
+                                                 task_index),
+                                  tup)
+        return tup
+
+    # ---------------------------------------------------------- supervision
+    def enable_supervision(self, heartbeat: float = 1.0,
+                           restart_delay: float = 2.0) -> None:
+        """Restart crashed tasks, as Storm's supervisor daemons do."""
+        if self._supervised:
+            return
+        self._supervised = True
+        self._heartbeat = heartbeat
+        self._restart_delay = restart_delay
+        self.sim.schedule(heartbeat, self._check_heartbeats)
+
+    def _check_heartbeats(self) -> None:
+        for name, executor in self.executors.items():
+            if executor.down:
+                self.sim.schedule(self._restart_delay, self._restart, name)
+        self.sim.schedule(self._heartbeat, self._check_heartbeats)
+
+    def _restart(self, name: str) -> None:
+        executor = self.executors[name]
+        if executor.down:
+            executor.recover()
+
+    # -------------------------------------------------------------- stats
+    def metrics(self, component: str) -> TaskMetrics:
+        """Aggregate metrics across all tasks of a component."""
+        assert self.topology is not None
+        total = TaskMetrics()
+        spec = self.topology.components[component]
+        for index in range(spec.parallelism):
+            m = self.contexts[self.task_name(component, index)].metrics
+            total.emitted += m.emitted
+            total.executed += m.executed
+            total.acked += m.acked
+            total.failed += m.failed
+        return total
+
+    @property
+    def acker(self) -> Acker:
+        acker = self.executors[self.acker_name]
+        assert isinstance(acker, Acker)
+        return acker

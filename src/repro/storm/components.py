@@ -1,0 +1,73 @@
+"""User-facing Storm component interfaces: spouts and bolts.
+
+As in Storm, components are stateless from the framework's point of view —
+program state, if any, must live in external storage (Tornado's processors
+obey this by materialising vertex versions in the versioned store).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.storm.tuples import DEFAULT_STREAM, StormTuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storm.cluster import TaskContext
+
+
+class OutputCollector:
+    """Handed to components at prepare/open time; the only way to emit.
+
+    The collector is bound to one task by the cluster; ``emit`` routes
+    through the topology's groupings, ``emit_direct`` targets a single task
+    of a component reachable over a direct stream.
+    """
+
+    def __init__(self, ctx: "TaskContext") -> None:
+        self._ctx = ctx
+
+    def emit(self, values: dict[str, Any], stream: str = DEFAULT_STREAM,
+             anchors: tuple[StormTuple, ...] = ()) -> StormTuple:
+        return self._ctx.emit(values, stream, anchors, direct_task=None)
+
+    def emit_direct(self, task: int, values: dict[str, Any],
+                    stream: str = DEFAULT_STREAM,
+                    anchors: tuple[StormTuple, ...] = ()) -> StormTuple:
+        return self._ctx.emit(values, stream, anchors, direct_task=task)
+
+    def ack(self, tup: StormTuple) -> None:
+        """Declare a received tuple fully processed."""
+        self._ctx.ack(tup)
+
+    def fail(self, tup: StormTuple) -> None:
+        """Declare a received tuple failed (forces replay at the spout)."""
+        self._ctx.fail(tup)
+
+
+class Spout:
+    """Pulls data from an external source and feeds the topology."""
+
+    def open(self, ctx: "TaskContext", collector: OutputCollector) -> None:
+        """Called once before any ``next_tuple``."""
+
+    def next_tuple(self) -> bool:
+        """Emit at most one tuple; return True if something was emitted
+        (False lets the executor back off before polling again)."""
+        raise NotImplementedError
+
+    def ack(self, message_id: Any) -> None:
+        """The tuple tree rooted at ``message_id`` completed."""
+
+    def fail(self, message_id: Any) -> None:
+        """The tuple tree rooted at ``message_id`` failed or timed out."""
+
+
+class Bolt:
+    """Processes tuples and may emit new ones."""
+
+    def prepare(self, ctx: "TaskContext", collector: OutputCollector) -> None:
+        """Called once before any ``execute``."""
+
+    def execute(self, tup: StormTuple) -> float:
+        """Process one tuple; return its virtual-time cost in seconds."""
+        raise NotImplementedError

@@ -1,0 +1,73 @@
+"""Stream groupings: how tuples are routed to the tasks of a bolt.
+
+Mirrors Storm's grouping vocabulary: shuffle, fields, all (broadcast),
+global (task 0) and direct (sender chooses the task).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Sequence
+
+from repro.errors import TopologyError
+from repro.storm.tuples import StormTuple
+
+
+def _stable_hash(value: Any) -> int:
+    """Deterministic across processes (unlike ``hash`` for str)."""
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+class Grouping:
+    """Chooses destination task indices for each tuple."""
+
+    def targets(self, tup: StormTuple, n_tasks: int) -> Sequence[int]:
+        raise NotImplementedError
+
+
+class ShuffleGrouping(Grouping):
+    """Round-robin (deterministic shuffle) across tasks."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def targets(self, tup: StormTuple, n_tasks: int) -> Sequence[int]:
+        task = self._next % n_tasks
+        self._next += 1
+        return (task,)
+
+
+class FieldsGrouping(Grouping):
+    """Tuples agreeing on the named fields go to the same task."""
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        if not fields:
+            raise TopologyError("fields grouping needs at least one field")
+        self.fields = tuple(fields)
+
+    def targets(self, tup: StormTuple, n_tasks: int) -> Sequence[int]:
+        key = tuple(tup[field] for field in self.fields)
+        return (_stable_hash(key) % n_tasks,)
+
+
+class AllGrouping(Grouping):
+    """Broadcast to every task."""
+
+    def targets(self, tup: StormTuple, n_tasks: int) -> Sequence[int]:
+        return tuple(range(n_tasks))
+
+
+class GlobalGrouping(Grouping):
+    """Everything goes to task 0."""
+
+    def targets(self, tup: StormTuple, n_tasks: int) -> Sequence[int]:
+        return (0,)
+
+
+class DirectGrouping(Grouping):
+    """The emitter names the destination task explicitly (via the
+    ``direct_task`` argument of ``emit``); this object only validates."""
+
+    def targets(self, tup: StormTuple, n_tasks: int) -> Sequence[int]:
+        raise TopologyError(
+            "direct streams require emit(..., direct_task=...)")

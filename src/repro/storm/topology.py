@@ -1,0 +1,143 @@
+"""Topology declaration: the builder API mirrored from Storm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import TopologyError
+from repro.storm.components import Bolt, Spout
+from repro.storm.groupings import (AllGrouping, DirectGrouping,
+                                   FieldsGrouping, GlobalGrouping, Grouping,
+                                   ShuffleGrouping)
+from repro.storm.tuples import DEFAULT_STREAM
+
+
+@dataclass
+class Subscription:
+    """One (upstream component, stream) -> downstream component edge."""
+
+    source: str
+    stream: str
+    grouping: Grouping
+
+
+@dataclass
+class ComponentSpec:
+    """Declared component: a factory plus parallelism and subscriptions."""
+
+    name: str
+    factory: Callable[[], Spout | Bolt]
+    parallelism: int
+    is_spout: bool
+    subscriptions: list[Subscription] = field(default_factory=list)
+    #: Tick-tuple period in virtual seconds (None = no ticks).
+    tick_interval: float | None = None
+
+
+class BoltDeclarer:
+    """Fluent half of the builder: attach groupings to a declared bolt."""
+
+    def __init__(self, spec: ComponentSpec, builder: "TopologyBuilder"):
+        self._spec = spec
+        self._builder = builder
+
+    def _subscribe(self, source: str, stream: str,
+                   grouping: Grouping) -> "BoltDeclarer":
+        if source not in self._builder.components:
+            raise TopologyError(f"unknown upstream component: {source!r}")
+        self._spec.subscriptions.append(Subscription(source, stream, grouping))
+        return self
+
+    def shuffle_grouping(self, source: str,
+                         stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        return self._subscribe(source, stream, ShuffleGrouping())
+
+    def fields_grouping(self, source: str, fields: tuple[str, ...],
+                        stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        return self._subscribe(source, stream, FieldsGrouping(fields))
+
+    def all_grouping(self, source: str,
+                     stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        return self._subscribe(source, stream, AllGrouping())
+
+    def global_grouping(self, source: str,
+                        stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        return self._subscribe(source, stream, GlobalGrouping())
+
+    def direct_grouping(self, source: str,
+                        stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        return self._subscribe(source, stream, DirectGrouping())
+
+    def with_tick(self, interval: float) -> "BoltDeclarer":
+        """Deliver a system tick tuple to every task of this bolt each
+        ``interval`` virtual seconds (Storm's tick-tuple config)."""
+        if interval <= 0:
+            raise TopologyError("tick interval must be positive")
+        self._spec.tick_interval = interval
+        return self
+
+
+@dataclass
+class Topology:
+    """Validated, immutable topology description."""
+
+    name: str
+    components: dict[str, ComponentSpec]
+
+    def spouts(self) -> list[ComponentSpec]:
+        return [c for c in self.components.values() if c.is_spout]
+
+    def bolts(self) -> list[ComponentSpec]:
+        return [c for c in self.components.values() if not c.is_spout]
+
+    def subscribers(self, source: str,
+                    stream: str) -> list[tuple[ComponentSpec, Grouping]]:
+        found = []
+        for spec in self.components.values():
+            for sub in spec.subscriptions:
+                if sub.source == source and sub.stream == stream:
+                    found.append((spec, sub.grouping))
+        return found
+
+
+class TopologyBuilder:
+    """Mirrors Storm's ``TopologyBuilder``.
+
+    >>> builder = TopologyBuilder("wordcount")
+    >>> builder.set_spout("lines", LineSpout, parallelism=1)
+    >>> builder.set_bolt("split", SplitBolt, 2).shuffle_grouping("lines")
+    >>> topology = builder.build()
+    """
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self.components: dict[str, ComponentSpec] = {}
+
+    def _declare(self, name: str, factory: Callable[[], Spout | Bolt],
+                 parallelism: int, is_spout: bool) -> ComponentSpec:
+        if name in self.components:
+            raise TopologyError(f"duplicate component name: {name!r}")
+        if parallelism < 1:
+            raise TopologyError(f"parallelism must be >= 1, got {parallelism}")
+        spec = ComponentSpec(name, factory, parallelism, is_spout)
+        self.components[name] = spec
+        return spec
+
+    def set_spout(self, name: str, factory: Callable[[], Spout],
+                  parallelism: int = 1) -> None:
+        self._declare(name, factory, parallelism, is_spout=True)
+
+    def set_bolt(self, name: str, factory: Callable[[], Bolt],
+                 parallelism: int = 1) -> BoltDeclarer:
+        spec = self._declare(name, factory, parallelism, is_spout=False)
+        return BoltDeclarer(spec, self)
+
+    def build(self) -> Topology:
+        if not any(spec.is_spout for spec in self.components.values()):
+            raise TopologyError("a topology needs at least one spout")
+        for spec in self.components.values():
+            if spec.is_spout and spec.subscriptions:
+                raise TopologyError(
+                    f"spout {spec.name!r} cannot subscribe to streams")
+        return Topology(self.name, dict(self.components))

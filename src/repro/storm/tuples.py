@@ -1,0 +1,43 @@
+"""Storm tuples.
+
+A :class:`StormTuple` is one message flowing through a topology.  Tuples
+carry the emitting component/stream, a payload of named values, a random
+64-bit id (used by the acker's XOR trick) and the ids of the tuples they
+were anchored to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class StormTuple:
+    """One unit of data exchanged between topology components."""
+
+    component: str
+    stream: str
+    values: dict[str, Any]
+    tuple_id: int
+    root_id: int | None = None
+    anchors: tuple[int, ...] = field(default=())
+
+    def __getitem__(self, name: str) -> Any:
+        return self.values[name]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.values.get(name, default)
+
+
+DEFAULT_STREAM = "default"
+
+#: Component/stream names of periodic system tick tuples.
+SYSTEM_COMPONENT = "__system"
+TICK_STREAM = "__tick"
+
+
+def is_tick(tup: "StormTuple") -> bool:
+    """True for the periodic system tuples delivered to bolts configured
+    with a tick interval (used for time-based flushing/aggregation)."""
+    return tup.component == SYSTEM_COMPONENT and tup.stream == TICK_STREAM

@@ -1,0 +1,87 @@
+"""The turnstile stream model (paper §3.1).
+
+The input of a Tornado job is an unbounded sequence of timestamped updates
+(*stream tuples*); the value of the input at an instant ``t`` is the sum of
+all updates with timestamp ≤ t.  Deletions are just updates with negative
+weight, which makes the streams *retractable* — e.g. an edge stream produced
+by a crawler may both insert and remove edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+# Well-known tuple kinds used by the built-in workloads.
+ADD_EDGE = "add_edge"
+REMOVE_EDGE = "remove_edge"
+ADD_POINT = "add_point"
+ADD_INSTANCE = "add_instance"
+
+
+@dataclass(frozen=True, slots=True)
+class StreamTuple:
+    """One timestamped update in a turnstile stream.
+
+    Attributes
+    ----------
+    timestamp:
+        Instant at which the update happens (virtual seconds).
+    kind:
+        Application-level tag (e.g. ``"add_edge"``).
+    payload:
+        The update body; hashable for edge streams, arbitrary otherwise.
+    weight:
+        Turnstile multiplicity delta; +1 insert, -1 delete.
+    """
+
+    timestamp: float
+    kind: str
+    payload: Any
+    weight: int = 1
+
+
+@dataclass
+class TurnstileState:
+    """Materialised prefix of a turnstile stream: a multiset of payloads.
+
+    ``apply`` folds tuples in; items whose multiplicity reaches zero vanish.
+    Negative multiplicities are retained (a deletion may arrive before its
+    insertion under at-least-once delivery) so that the algebra stays
+    commutative.
+    """
+
+    counts: dict[Any, int] = field(default_factory=dict)
+    applied: int = 0
+    last_timestamp: float = float("-inf")
+
+    def apply(self, tup: StreamTuple) -> None:
+        key = (tup.kind, tup.payload)
+        new = self.counts.get(key, 0) + tup.weight
+        if new == 0:
+            self.counts.pop(key, None)
+        else:
+            self.counts[key] = new
+        self.applied += 1
+        if tup.timestamp > self.last_timestamp:
+            self.last_timestamp = tup.timestamp
+
+    def multiplicity(self, kind: str, payload: Any) -> int:
+        return self.counts.get((kind, payload), 0)
+
+    def items(self, kind: str | None = None) -> Iterator[tuple[Any, int]]:
+        for (item_kind, payload), count in self.counts.items():
+            if kind is None or item_kind == kind:
+                yield payload, count
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+
+def prefix_at(tuples: Iterable[StreamTuple], instant: float) -> TurnstileState:
+    """Materialise ``S[t]``: fold every tuple with timestamp ≤ ``instant``."""
+    state = TurnstileState()
+    for tup in tuples:
+        if tup.timestamp <= instant:
+            state.apply(tup)
+    return state

@@ -1,0 +1,115 @@
+"""Reservoir sampling (Vitter's Algorithm R).
+
+Paper §3.2: SGD over an evolving instance stream must sample *uniformly over
+everything seen so far* — plain random sampling over the buffered prefix
+over-weights old instances, which breaks the correctness condition (the
+approximation would not be a valid initial guess).  Reservoir sampling keeps
+every instance equally likely regardless of arrival time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterable, Iterator, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+class ReservoirSampler(Generic[T]):
+    """Fixed-capacity uniform sample over an unbounded stream.
+
+    >>> rng = np.random.default_rng(0)
+    >>> sampler = ReservoirSampler(capacity=2, rng=rng)
+    >>> for item in range(100):
+    ...     sampler.offer(item)
+    >>> len(sampler.sample)
+    2
+    """
+
+    def __init__(self, capacity: int, rng: np.random.Generator) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._rng = rng
+        self.sample: list[T] = []
+        self.seen = 0
+
+    def offer(self, item: T) -> None:
+        """Present one stream element to the sampler."""
+        self.seen += 1
+        if len(self.sample) < self.capacity:
+            self.sample.append(item)
+            return
+        slot = int(self._rng.integers(0, self.seen))
+        if slot < self.capacity:
+            self.sample[slot] = item
+
+    def extend(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.offer(item)
+
+    def draw(self, count: int) -> list[T]:
+        """Draw ``count`` items uniformly (with replacement) from the
+        current reservoir."""
+        if not self.sample:
+            return []
+        indices = self._rng.integers(0, len(self.sample), size=count)
+        return [self.sample[int(i)] for i in indices]
+
+    def __len__(self) -> int:
+        return len(self.sample)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self.sample)
+
+
+class RecencyBiasedBuffer(Generic[T]):
+    """The *broken* sampler the paper warns against: keeps the most recent
+    ``capacity`` items only, so older data is forgotten and the main
+    loop's guesses stop being valid for the full input.  Included as the
+    contrast case for tests and ablations; drop-in compatible with
+    :class:`ReservoirSampler`."""
+
+    def __init__(self, capacity: int,
+                 rng: np.random.Generator | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.sample: list[T] = []
+        self.seen = 0
+
+    def offer(self, item: T) -> None:
+        self.seen += 1
+        self.sample.append(item)
+        if len(self.sample) > self.capacity:
+            self.sample.pop(0)
+
+    def extend(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.offer(item)
+
+    def draw(self, count: int) -> list[T]:
+        if not self.sample:
+            return []
+        indices = self._rng.integers(0, len(self.sample), size=count)
+        return [self.sample[int(i)] for i in indices]
+
+    def __len__(self) -> int:
+        return len(self.sample)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self.sample)
+
+
+def sample_is_uniform(counts: dict[Any, int], trials: int,
+                      capacity: int, population: int,
+                      tolerance: float = 0.35) -> bool:
+    """Chi-square-style sanity check used by tests: is every item's
+    inclusion frequency within ``tolerance`` of ``capacity/population``?"""
+    expected = trials * capacity / population
+    if expected <= 0:
+        return False
+    return all(abs(count - expected) <= tolerance * expected
+               for count in counts.values())

@@ -1,0 +1,57 @@
+"""Sliding windows over turnstile streams.
+
+Many real-time analyses only care about the recent past ("rank pages
+crawled in the last hour").  Because Tornado consumes *retractable*
+streams, windowing is just stream rewriting: every insertion is paired
+with a retraction scheduled when the item leaves the window.  The
+resulting stream feeds any workload unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.streams.model import StreamTuple
+
+
+def sliding_window(tuples: Iterable[StreamTuple],
+                   window: float) -> list[StreamTuple]:
+    """Rewrite a stream so each tuple is retracted ``window`` seconds
+    after it appears.
+
+    Existing retractions pass through untouched (their insertion's
+    expiry retraction is still emitted; the turnstile algebra keeps the
+    multiset consistent because multiplicities just cancel earlier).
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    rewritten: list[StreamTuple] = []
+    for tup in tuples:
+        rewritten.append(tup)
+        if tup.weight > 0:
+            rewritten.append(StreamTuple(tup.timestamp + window, tup.kind,
+                                         tup.payload, -tup.weight))
+    rewritten.sort(key=lambda t: t.timestamp)
+    return rewritten
+
+
+def tumbling_windows(tuples: Iterable[StreamTuple],
+                     width: float) -> Iterator[tuple[int,
+                                                     list[StreamTuple]]]:
+    """Group a stream into consecutive fixed-width windows, yielding
+    ``(window_index, tuples)`` pairs — handy for epoch-style baselines."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    bucket: list[StreamTuple] = []
+    current: int | None = None
+    for tup in sorted(tuples, key=lambda t: t.timestamp):
+        index = int(tup.timestamp // width)
+        if current is None:
+            current = index
+        if index != current:
+            yield current, bucket
+            bucket = []
+            current = index
+        bucket.append(tup)
+    if current is not None and bucket:
+        yield current, bucket

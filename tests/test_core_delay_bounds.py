@@ -1,0 +1,40 @@
+"""Equivalence across delay bounds: every B must reach the same fixed
+point (the paper's correctness claim for bounded asynchronous iteration)."""
+
+import math
+
+import pytest
+
+from repro.algorithms.graph_common import EdgeStreamRouter
+from repro.algorithms.sssp import SSSPProgram, reference_sssp
+from repro.core import Application, TornadoConfig, TornadoJob
+from repro.datagen import livejournal_like
+from repro.streams import UniformRate, edge_stream
+
+
+def run_sssp(edges, delay_bound, seed=0):
+    app = Application(SSSPProgram(0, max_distance=1000.0),
+                      EdgeStreamRouter(), name="sssp")
+    job = TornadoJob(app, TornadoConfig(
+        n_processors=3, storage_backend="memory", report_interval=0.01,
+        delay_bound=delay_bound, seed=seed))
+    job.feed(edge_stream(edges, UniformRate(rate=2000.0)))
+    job.run_for(2.0)
+    result = job.query_and_wait(full_activation=True)
+    return {vid: v.distance for vid, v in result.values.items()
+            if not math.isinf(v.distance)}
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("delay_bound", [1, 2, 7, 65536])
+def test_all_bounds_reach_dijkstra(seed, delay_bound):
+    edges = livejournal_like(n_vertices=60, n_edges=240, seed=seed)
+    expected = {v: d for v, d in reference_sssp(edges, 0).items()
+                if not math.isinf(d)}
+    assert run_sssp(edges, delay_bound, seed=seed) == expected
+
+
+def test_bounds_agree_with_each_other():
+    edges = livejournal_like(n_vertices=80, n_edges=320, seed=9)
+    results = {bound: run_sssp(edges, bound) for bound in (1, 3, 65536)}
+    assert results[1] == results[3] == results[65536]

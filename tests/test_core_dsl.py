@@ -1,0 +1,116 @@
+"""Tests for the declarative algebra layer (repro.core.dsl)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import EdgeStreamRouter, reference_sssp
+from repro.core import Application, TornadoConfig, TornadoJob
+from repro.core.dsl import (AlgebraicProgram, min_label, reachability,
+                            shortest_paths, widest_path)
+from repro.streams import UniformRate, edge_stream
+from repro.streams.model import REMOVE_EDGE, StreamTuple
+
+EDGES = [("s", "a", 4.0), ("s", "b", 1.0), ("b", "a", 2.0),
+         ("a", "c", 1.0), ("b", "c", 9.0), ("c", "d", 2.0)]
+
+
+def run_dsl(program: AlgebraicProgram, edges=EDGES, undirected=False,
+            extra_tuples=()):
+    app = Application(program, EdgeStreamRouter(undirected=undirected),
+                      name="dsl")
+    job = TornadoJob(app, TornadoConfig(n_processors=2,
+                                        storage_backend="memory",
+                                        report_interval=0.01))
+    job.feed(edge_stream(edges, UniformRate(rate=1000.0)))
+    job.run_for(2.0)
+    if extra_tuples:
+        job.feed(list(extra_tuples))
+        job.run_for(2.0)
+    result = job.query_and_wait()
+    return {vid: v.value for vid, v in result.values.items()}
+
+
+def reference_widest(edges, source):
+    """Bottleneck-maximising Dijkstra."""
+    import heapq
+
+    adjacency = {}
+    vertices = set()
+    for u, v, w in edges:
+        adjacency.setdefault(u, []).append((v, w))
+        vertices.update((u, v))
+    width = {v: 0.0 for v in vertices}
+    width[source] = math.inf
+    heap = [(-math.inf, source)]
+    while heap:
+        negative, vertex = heapq.heappop(heap)
+        current = -negative
+        if current < width[vertex]:
+            continue
+        for target, weight in adjacency.get(vertex, []):
+            candidate = min(current, weight)
+            if candidate > width[target]:
+                width[target] = candidate
+                heapq.heappush(heap, (-candidate, target))
+    return width
+
+
+class TestShortestPathsDSL:
+    def test_matches_dijkstra(self):
+        values = run_dsl(shortest_paths("s"))
+        expected = reference_sssp(EDGES, "s")
+        finite = {v: d for v, d in expected.items() if not math.isinf(d)}
+        got = {v: d for v, d in values.items() if not math.isinf(d)}
+        assert got == finite
+
+    def test_handles_deletion(self):
+        retraction = StreamTuple(0.0, REMOVE_EDGE, ("s", "b", 1.0),
+                                 weight=-1)
+        values = run_dsl(shortest_paths("s"), extra_tuples=[retraction])
+        remaining = [e for e in EDGES if e[:2] != ("s", "b")]
+        expected = reference_sssp(remaining, "s")
+        for vertex, distance in expected.items():
+            if math.isinf(distance):
+                assert math.isinf(values[vertex])
+            else:
+                assert values[vertex] == distance
+
+
+class TestReachabilityDSL:
+    def test_reachable_set(self):
+        values = run_dsl(reachability("s"))
+        assert all(values[v] for v in ("s", "a", "b", "c", "d"))
+
+    def test_unreachable_after_cut(self):
+        # Removing both edges into c disconnects c and d.
+        cuts = [StreamTuple(0.0, REMOVE_EDGE, ("a", "c", 1.0), weight=-1),
+                StreamTuple(0.0, REMOVE_EDGE, ("b", "c", 9.0), weight=-1)]
+        values = run_dsl(reachability("s"), extra_tuples=cuts)
+        assert values["a"] and values["b"]
+        assert not values["c"]
+        assert not values["d"]
+
+
+class TestWidestPathDSL:
+    def test_matches_bottleneck_dijkstra(self):
+        values = run_dsl(widest_path("s"))
+        expected = reference_widest(EDGES, "s")
+        for vertex, width in expected.items():
+            assert values[vertex] == pytest.approx(width)
+
+    def test_width_improves_with_fat_edge(self):
+        before = run_dsl(widest_path("s"))
+        assert before["a"] == 4.0  # direct s->a edge of width 4
+        fat = edge_stream([("s", "c", 50.0)], UniformRate(rate=1000.0))
+        after = run_dsl(widest_path("s"), extra_tuples=fat)
+        assert after["c"] == 50.0
+        assert after["d"] == 2.0
+
+
+class TestMinLabelDSL:
+    def test_components(self):
+        edges = [(1, 2, 1.0), (2, 3, 1.0), (10, 11, 1.0)]
+        values = run_dsl(min_label(), edges=edges, undirected=True)
+        assert values[3] == 1
+        assert values[11] == 10

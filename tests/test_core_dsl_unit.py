@@ -1,0 +1,103 @@
+"""Unit tests for the algebra layer, no simulator: drive the generic
+program through a bare VertexContext."""
+
+import math
+
+from repro.core.dsl import (AlgebraicProgram, min_label, reachability,
+                            shortest_paths, widest_path)
+from repro.core.vertex import Delta, VertexContext, VertexState
+from repro.streams.model import ADD_EDGE, REMOVE_EDGE
+
+
+def make_vertex(program, vertex_id):
+    state = VertexState(vertex_id)
+    ctx = VertexContext(state, "main", 0)
+    program.init(ctx)
+    return ctx
+
+
+class TestShortestPathsAlgebra:
+    def test_root_combines_to_zero(self):
+        ctx = make_vertex(shortest_paths("s"), "s")
+        assert ctx.value.value == 0.0
+
+    def test_min_over_offers(self):
+        program = shortest_paths("s")
+        ctx = make_vertex(program, "x")
+        assert program.gather(ctx, "a", 5.0)
+        assert program.gather(ctx, "b", 2.0)
+        assert not program.gather(ctx, "c", 3.0)
+        assert ctx.value.value == 2.0
+
+    def test_bottom_offer_retracts_slot(self):
+        program = shortest_paths("s")
+        ctx = make_vertex(program, "x")
+        program.gather(ctx, "a", 2.0)
+        assert program.gather(ctx, "a", math.inf)
+        assert math.isinf(ctx.value.value)
+
+    def test_max_distance_cap(self):
+        program = shortest_paths("s", max_distance=10.0)
+        ctx = make_vertex(program, "x")
+        program.gather(ctx, "a", 50.0)
+        assert math.isinf(ctx.value.value)
+
+    def test_scatter_extends_with_weight(self):
+        program = shortest_paths("s")
+        ctx = make_vertex(program, "s")
+        program.gather(ctx, None, Delta(ADD_EDGE, ("s", "t", 3.0)))
+        program.scatter(ctx)
+        assert ctx.take_emitted() == {"t": 3.0}
+
+    def test_removed_target_gets_bottom(self):
+        program = shortest_paths("s")
+        ctx = make_vertex(program, "s")
+        program.gather(ctx, None, Delta(ADD_EDGE, ("s", "t", 3.0)))
+        program.gather(ctx, None, Delta(REMOVE_EDGE, ("s", "t", 3.0)))
+        program.scatter(ctx)
+        assert math.isinf(ctx.take_emitted()["t"])
+
+
+class TestOtherAlgebras:
+    def test_reachability_or(self):
+        program = reachability("s")
+        ctx = make_vertex(program, "x")
+        assert not ctx.value.value
+        assert program.gather(ctx, "a", True)
+        assert ctx.value.value is True
+        assert program.gather(ctx, "a", False)  # retraction (bottom)
+        assert ctx.value.value is False
+
+    def test_widest_path_max_min(self):
+        program = widest_path("s")
+        ctx = make_vertex(program, "x")
+        program.gather(ctx, "a", 3.0)
+        program.gather(ctx, "b", 7.0)
+        assert ctx.value.value == 7.0
+        program.gather(ctx, None, Delta(ADD_EDGE, ("x", "y", 5.0)))
+        program.scatter(ctx)
+        assert ctx.take_emitted()["y"] == 5.0  # min(7, 5)
+
+    def test_min_label_includes_own_id(self):
+        program = min_label()
+        ctx = make_vertex(program, 4)
+        assert ctx.value.value == 4
+        assert program.gather(ctx, 9, 9) is False
+        assert program.gather(ctx, 2, 2)
+        assert ctx.value.value == 2
+
+    def test_snapshot_is_independent(self):
+        program = shortest_paths("s")
+        ctx = make_vertex(program, "x")
+        program.gather(ctx, "a", 4.0)
+        snapshot = program.snapshot_value(ctx.value)
+        program.gather(ctx, "a", 1.0)
+        assert snapshot.value == 4.0
+        assert snapshot.slots == {"a": 4.0}
+
+    def test_unreachable_vertex_announces_nothing_on_new_edge(self):
+        program = shortest_paths("s")
+        ctx = make_vertex(program, "x")  # at bottom
+        changed = program.gather(ctx, None,
+                                 Delta(ADD_EDGE, ("x", "y", 1.0)))
+        assert not changed

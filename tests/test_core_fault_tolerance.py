@@ -1,0 +1,127 @@
+"""Fault-tolerance integration tests (paper §5.3, §6.3.2).
+
+Kill the master or a processor mid-computation and check that the job
+recovers and still produces exact results.
+"""
+
+import math
+
+from repro.algorithms.graph_common import EdgeStreamRouter
+from repro.algorithms.sssp import SSSPProgram, reference_sssp
+from repro.core import Application, TornadoConfig, TornadoJob
+from repro.streams import UniformRate, edge_stream
+
+EDGES = [
+    ("s", "a"), ("s", "b"), ("a", "c"), ("b", "c"),
+    ("c", "d"), ("d", "e"), ("b", "e"), ("e", "f"),
+    ("f", "g"), ("d", "g"), ("a", "h"), ("h", "d"),
+]
+
+
+def make_job(**config_kwargs):
+    config_kwargs.setdefault("n_processors", 3)
+    config_kwargs.setdefault("report_interval", 0.01)
+    config_kwargs.setdefault("retransmit_timeout", 0.1)
+    config_kwargs.setdefault("storage_backend", "memory")
+    app = Application(SSSPProgram("s"), EdgeStreamRouter(), name="sssp")
+    job = TornadoJob(app, TornadoConfig(**config_kwargs))
+    job.feed(edge_stream(EDGES, UniformRate(rate=1000.0)))
+    return job
+
+
+def distances(values):
+    out = {}
+    for vid, value in values.items():
+        dist = value.distance if hasattr(value, "distance") else value
+        if not math.isinf(dist):
+            out[vid] = dist
+    return out
+
+
+def reference():
+    return {v: d for v, d in reference_sssp(EDGES, "s").items()
+            if not math.isinf(d)}
+
+
+class TestMasterFailure:
+    def test_async_loop_survives_master_downtime(self):
+        """With a large delay bound nothing blocks on termination notices:
+        the computation keeps going while the master is down (Fig. 8c)."""
+        job = make_job(delay_bound=65536)
+        job.failures.kill_at(0.05, TornadoJob.MASTER, recover_after=1.0)
+        job.run_for(4.0)
+        approx = distances(job.main_values())
+        assert approx == reference()
+
+    def test_sync_loop_stalls_then_resumes(self):
+        """With B=1 everything is buffered until iterations terminate, so
+        progress requires the master; it resumes after recovery."""
+        job = make_job(delay_bound=1)
+        job.failures.kill_at(0.02, TornadoJob.MASTER, recover_after=1.0)
+        # While the master is down, commits stop growing.
+        job.run(until=0.5)
+        commits_during_outage = job.total_commits
+        job.run(until=0.9)
+        assert job.total_commits == commits_during_outage
+        job.run_for(5.0)
+        assert distances(job.main_values()) == reference()
+
+    def test_query_completes_after_master_recovery(self):
+        job = make_job(delay_bound=65536)
+        job.run_for(2.0)
+        job.failures.kill_at(job.sim.now + 0.01, TornadoJob.MASTER,
+                             recover_after=0.5)
+        job.run_for(1.0)
+        result = job.query_and_wait()
+        assert distances(result.values) == reference()
+
+
+class TestProcessorFailure:
+    def test_processor_recovers_and_results_exact(self):
+        """A crashed processor reloads the last checkpoint, peers retransmit
+        unacknowledged messages, and the final answer is exact (Fig. 8d)."""
+        job = make_job(delay_bound=65536)
+        job.failures.kill_at(0.05, "proc-1", recover_after=0.5)
+        job.run_for(5.0)
+        result = job.query_and_wait(full_activation=True)
+        assert distances(result.values) == reference()
+
+    def test_sync_loop_survives_processor_failure(self):
+        job = make_job(delay_bound=1)
+        job.failures.kill_at(0.05, "proc-0", recover_after=0.5)
+        job.run_for(6.0)
+        result = job.query_and_wait(full_activation=True)
+        assert distances(result.values) == reference()
+
+    def test_branch_loop_survives_processor_failure(self):
+        """Kill a processor while a branch loop is running; the query must
+        still converge to the exact answer."""
+        job = make_job(delay_bound=65536, main_loop_mode="batch",
+                       merge_policy="never")
+        job.run_for(2.0)
+        query_id = job.query(full_activation=True)
+        job.failures.kill_at(job.sim.now + 0.005, "proc-2",
+                             recover_after=0.3)
+        result = job.wait_for_query(query_id)
+        assert distances(result.values) == reference()
+
+    def test_two_processor_failures(self):
+        job = make_job(delay_bound=65536)
+        job.failures.kill_at(0.04, "proc-0", recover_after=0.4)
+        job.failures.kill_at(0.06, "proc-2", recover_after=0.4)
+        job.run_for(6.0)
+        result = job.query_and_wait(full_activation=True)
+        assert distances(result.values) == reference()
+
+    def test_updates_stall_while_peer_down_async(self):
+        """Asynchronous loops keep updating until the failed processor's
+        silence propagates through the dependency graph (Fig. 8d)."""
+        job = make_job(delay_bound=65536)
+        job.run(until=0.05)
+        job.failures.kill_now("proc-1")
+        job.run_for(3.0)
+        stalled_commits = job.total_commits
+        job.run_for(1.0)
+        # Eventually no more commits happen: the failure's effect has
+        # reached every dependent vertex.
+        assert job.total_commits == stalled_commits

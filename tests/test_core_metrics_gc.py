@@ -1,0 +1,97 @@
+"""Tests for the rate sampler and the job's store GC."""
+
+import pytest
+
+from repro.algorithms.graph_common import EdgeStreamRouter
+from repro.algorithms.sssp import SSSPProgram
+from repro.core import Application, TornadoConfig, TornadoJob
+from repro.core.metrics import RateSampler
+from repro.errors import QueryError
+from repro.simulator import Simulator
+from repro.streams import UniformRate, edge_stream
+
+EDGES = [("s", "a"), ("a", "b"), ("b", "c"), ("s", "c")]
+
+
+class TestRateSampler:
+    def test_samples_deltas(self):
+        sim = Simulator()
+        box = {"n": 0}
+
+        def bump():
+            box["n"] += 5
+            sim.schedule(1.0, bump)
+
+        sim.schedule(1.0, bump)
+        sampler = RateSampler(sim, lambda: box["n"], interval=1.0)
+        sim.run(until=4.5)
+        rates = [rate for _t, rate in sampler.rates()]
+        assert rates == pytest.approx([5.0, 5.0, 5.0, 5.0])
+        assert sampler.peak_rate() == 5.0
+        assert sampler.mean_rate() == pytest.approx(5.0)
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        sampler = RateSampler(sim, lambda: 0.0, interval=1.0)
+        sim.run(until=2.5)
+        sampler.stop()
+        sim.run(until=10.0)
+        assert len(sampler.samples) == 2
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            RateSampler(Simulator(), lambda: 0.0, interval=0.0)
+
+    def test_counts_job_commits(self):
+        app = Application(SSSPProgram("s"), EdgeStreamRouter(),
+                          name="sssp")
+        job = TornadoJob(app, TornadoConfig(n_processors=2,
+                                            storage_backend="memory",
+                                            report_interval=0.01))
+        sampler = RateSampler(job.sim, lambda: job.total_commits,
+                              interval=0.25)
+        job.feed(edge_stream(EDGES, UniformRate(rate=100.0)))
+        job.run_for(2.0)
+        assert sampler.peak_rate() > 0.0
+        assert sampler.samples[-1].total == job.total_commits
+
+
+class TestStoreGC:
+    def make_job(self):
+        app = Application(SSSPProgram("s"), EdgeStreamRouter(),
+                          name="sssp")
+        job = TornadoJob(app, TornadoConfig(n_processors=2,
+                                            storage_backend="memory",
+                                            report_interval=0.01))
+        job.feed(edge_stream(EDGES, UniformRate(rate=1000.0)))
+        job.run_for(1.0)
+        return job
+
+    def test_gc_drops_old_branches(self):
+        job = self.make_job()
+        queries = [job.query_and_wait().query_id for _ in range(4)]
+        removed = job.gc(keep_last_branches=1)
+        assert removed > 0
+        # The newest branch stays readable; the oldest is gone.
+        assert job.result(queries[-1]).values
+        assert job.result(queries[0]).values == {}
+
+    def test_gc_keeps_requested_count(self):
+        job = self.make_job()
+        for _ in range(3):
+            job.query_and_wait()
+        job.gc(keep_last_branches=3)
+        kept = [record.loop for record in job.durable.branches.values()
+                if job.store.version_count(record.loop)]
+        assert len(kept) == 3
+
+    def test_gc_truncates_main_versions(self):
+        job = self.make_job()
+        job.query_and_wait()
+        before = job.store.version_count("main")
+        job.gc(keep_last_branches=8, truncate_main_versions=True)
+        after = job.store.version_count("main")
+        assert after <= before
+        # Approximation still intact after truncation.
+        result = job.query_and_wait()
+        assert result.values

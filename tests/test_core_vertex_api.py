@@ -1,0 +1,90 @@
+"""Unit tests for the vertex API, config validation and partition-adjacent
+pieces that need no simulator."""
+
+import pytest
+
+from repro.core import TornadoConfig
+from repro.core.messages import MAIN_LOOP, branch_name
+from repro.core.vertex import Delta, VertexContext, VertexState
+
+
+class TestVertexContext:
+    def make_ctx(self, loop=MAIN_LOOP):
+        state = VertexState("v1", value={"n": 0})
+        return VertexContext(state, loop, iteration=3), state
+
+    def test_value_read_write(self):
+        ctx, state = self.make_ctx()
+        ctx.value = {"n": 42}
+        assert state.value == {"n": 42}
+
+    def test_targets_add_remove(self):
+        ctx, state = self.make_ctx()
+        ctx.add_target("a")
+        ctx.add_target("b")
+        ctx.remove_target("a")
+        assert ctx.targets == frozenset({"b"})
+        assert state.targets == {"b"}
+
+    def test_targets_view_is_immutable(self):
+        ctx, _state = self.make_ctx()
+        ctx.add_target("a")
+        with pytest.raises(AttributeError):
+            ctx.targets.add("b")
+
+    def test_emit_collects_latest_per_target(self):
+        ctx, _state = self.make_ctx()
+        ctx.add_target("a")
+        ctx.emit("a", 1)
+        ctx.emit("a", 2)  # later emit supersedes
+        assert ctx.take_emitted() == {"a": 2}
+        assert ctx.take_emitted() == {}
+
+    def test_emit_all(self):
+        ctx, _state = self.make_ctx()
+        ctx.add_target("a")
+        ctx.add_target("b")
+        ctx.emit_all("payload")
+        assert ctx.take_emitted() == {"a": "payload", "b": "payload"}
+
+    def test_loop_helpers(self):
+        main_ctx, _s = self.make_ctx()
+        assert main_ctx.get_loop() == MAIN_LOOP
+        assert main_ctx.in_main_loop
+        branch_ctx, _s = self.make_ctx(loop=branch_name(3))
+        assert branch_ctx.get_loop() == "branch-3"
+        assert not branch_ctx.in_main_loop
+
+    def test_state_copy_is_deep_for_value(self):
+        state = VertexState("v", value={"xs": [1, 2]}, targets={"a"})
+        clone = state.copy_for()
+        clone.value["xs"].append(3)
+        clone.targets.add("b")
+        assert state.value == {"xs": [1, 2]}
+        assert state.targets == {"a"}
+
+    def test_delta_is_frozen(self):
+        delta = Delta("add_edge", (1, 2))
+        with pytest.raises(AttributeError):
+            delta.kind = "other"
+
+
+class TestTornadoConfig:
+    def test_defaults_valid(self):
+        config = TornadoConfig()
+        assert config.n_processors >= 1
+        assert config.delay_bound >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_processors": 0},
+        {"delay_bound": 0},
+        {"storage_backend": "postgres"},
+        {"merge_policy": "sometimes"},
+        {"main_loop_mode": "turbo"},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TornadoConfig(**kwargs)
+
+    def test_branch_name_format(self):
+        assert branch_name(7) == "branch-7"

@@ -1,0 +1,162 @@
+"""Property-based tests for the three-phase update protocol.
+
+A miniature in-memory network executes the protocol over arbitrary
+dependency graphs with adversarial (randomised) message interleavings and
+checks the paper's claims: no deadlock, no starvation, exactly one commit
+per scheduled update, and monotone iteration numbers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lamport import LamportClock
+from repro.core.protocol import (CommitUpdate, SendAck, SendPrepare,
+                                 VertexProtocol)
+
+
+def run_network(n_vertices, edge_bits, dirty_bits, order_seed,
+                changed_on_update=False):
+    """Execute one protocol round over a random digraph, delivering
+    messages in a seed-determined adversarial order.
+
+    Returns (protocols, commit_counts).
+    """
+    import random
+
+    rng = random.Random(order_seed)
+    vertices = list(range(n_vertices))
+    consumers = {v: set() for v in vertices}
+    bit = 0
+    for u in vertices:
+        for v in vertices:
+            if u != v:
+                if (edge_bits >> bit) & 1:
+                    consumers[u].add(v)
+                bit += 1
+    protocols = {v: VertexProtocol(v) for v in vertices}
+    clocks = {v: LamportClock(f"p{v}") for v in vertices}
+    commits = {v: 0 for v in vertices}
+    queue = []
+
+    def execute(vertex, actions):
+        for action in actions:
+            if isinstance(action, SendPrepare):
+                queue.append(("prepare", action.consumer, vertex,
+                              action.update_time))
+            elif isinstance(action, SendAck):
+                queue.append(("ack", action.producer, vertex,
+                              action.iteration))
+            elif isinstance(action, CommitUpdate):
+                commits[vertex] += 1
+                for consumer in consumers[vertex]:
+                    queue.append(("update", consumer, vertex,
+                                  action.iteration))
+
+    initially_dirty = [v for v in vertices if (dirty_bits >> v) & 1]
+    for vertex in initially_dirty:
+        protocols[vertex].gathered_input(0, changed=True)
+        execute(vertex, protocols[vertex].try_prepare(
+            clocks[vertex], consumers[vertex]))
+
+    steps = 0
+    while queue and steps < 100_000:
+        steps += 1
+        index = rng.randrange(len(queue))
+        kind, target, sender, value = queue.pop(index)
+        protocol = protocols[target]
+        if kind == "prepare":
+            clocks[target].observe(value)
+            execute(target, protocol.received_prepare(sender, value))
+        elif kind == "ack":
+            execute(target, protocol.received_ack(sender, value))
+        elif kind == "update":
+            protocol.gathered_update(sender, value,
+                                     changed=changed_on_update
+                                     and commits[target] == 0)
+            execute(target, protocol.try_prepare(
+                clocks[target], consumers[target]))
+    assert steps < 100_000, "protocol did not quiesce"
+    return protocols, commits, initially_dirty
+
+
+graphs = st.tuples(
+    st.integers(min_value=2, max_value=6),       # n vertices
+    st.integers(min_value=0),                    # edge bits
+    st.integers(min_value=1),                    # dirty bits
+    st.integers(min_value=0, max_value=2**32),   # interleaving seed
+)
+
+
+class TestProtocolProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(graphs)
+    def test_no_deadlock_and_exactly_one_commit(self, params):
+        """Every initially-dirty vertex commits exactly once; nothing is
+        left mid-prepare — under any topology and message order."""
+        n, edges, dirty, seed = params
+        protocols, commits, initially_dirty = run_network(
+            n, edges, dirty % (2 ** n) or 1, seed)
+        for vertex, protocol in protocols.items():
+            assert not protocol.preparing, f"{vertex} stuck preparing"
+            assert not protocol.dirty, f"{vertex} left dirty"
+            assert protocol.pending_list == []
+        for vertex in initially_dirty:
+            assert commits[vertex] == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs)
+    def test_cascading_updates_quiesce(self, params):
+        """Even when updates trigger downstream changes (one round each),
+        the network quiesces and consumers end at later iterations than
+        the updates they observed."""
+        n, edges, dirty, seed = params
+        protocols, commits, _dirty = run_network(
+            n, edges, dirty % (2 ** n) or 1, seed,
+            changed_on_update=True)
+        for protocol in protocols.values():
+            assert not protocol.preparing
+            assert not protocol.dirty
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["update", "input"]),
+                              st.integers(min_value=0, max_value=50)),
+                    max_size=30))
+    def test_iteration_monotone(self, events):
+        """A vertex's iteration number never decreases (causality)."""
+        protocol = VertexProtocol("x")
+        last = protocol.iteration
+        for kind, value in events:
+            if kind == "update":
+                protocol.gathered_update(f"p{value}", value, changed=False)
+            else:
+                protocol.gathered_input(value, changed=False)
+            assert protocol.iteration >= last
+            last = protocol.iteration
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**16),
+           st.integers(min_value=0, max_value=2**32))
+    def test_commit_iteration_at_least_max_consumer(self, consumer_iters,
+                                                    seed):
+        """τ'(x) = max(τ(x), τ(consumers)) — the commit happens at an
+        iteration no earlier than any consumer's (paper §4.2)."""
+        import random
+
+        rng = random.Random(seed)
+        iters = [(consumer_iters >> (4 * i)) & 0xF for i in range(4)]
+        protocol = VertexProtocol("x")
+        protocol.gathered_input(0, changed=True)
+        clock = LamportClock("p")
+        consumers = [f"c{i}" for i in range(4)]
+        actions = protocol.try_prepare(clock, consumers)
+        assert len(actions) == 4
+        order = list(range(4))
+        rng.shuffle(order)
+        commit = None
+        for index in order:
+            for action in protocol.received_ack(consumers[index],
+                                                iters[index]):
+                if isinstance(action, CommitUpdate):
+                    commit = action
+        assert commit is not None
+        assert commit.iteration >= max(iters)

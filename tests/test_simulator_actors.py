@@ -1,0 +1,105 @@
+"""Unit tests for actors: service discipline, costs, failure semantics."""
+
+from repro.simulator import Actor, Simulator
+
+
+class Recorder(Actor):
+    """Actor that records (time, message) and charges a fixed cost."""
+
+    def __init__(self, sim, name, cost=1.0):
+        super().__init__(sim, name)
+        self.cost = cost
+        self.seen = []
+
+    def handle(self, message, sender):
+        self.seen.append((self.sim.now, message, sender))
+        return self.cost
+
+
+class TestServiceDiscipline:
+    def test_messages_served_serially_with_cost(self):
+        sim = Simulator()
+        actor = Recorder(sim, "worker", cost=2.0)
+        actor.deliver("a", "x")
+        actor.deliver("b", "x")
+        sim.run()
+        times = [t for t, _m, _s in actor.seen]
+        # Second message waits for the first to finish its 2s service.
+        assert times == [0.0, 2.0]
+        assert actor.busy_time == 4.0
+        assert actor.messages_handled == 2
+
+    def test_speed_factor_scales_cost(self):
+        sim = Simulator()
+        actor = Recorder(sim, "slow", cost=1.0)
+        actor.speed_factor = 3.0
+        actor.deliver("a", "x")
+        actor.deliver("b", "x")
+        sim.run()
+        assert [t for t, _m, _s in actor.seen] == [0.0, 3.0]
+
+    def test_on_idle_called_when_inbox_drains(self):
+        sim = Simulator()
+        calls = []
+
+        class Idler(Recorder):
+            def on_idle(self):
+                calls.append(self.sim.now)
+
+        actor = Idler(sim, "w", cost=1.0)
+        actor.deliver("a", "x")
+        sim.run()
+        assert calls == [1.0]
+
+    def test_messages_during_service_queue_up(self):
+        sim = Simulator()
+        actor = Recorder(sim, "w", cost=5.0)
+        actor.deliver("a", "x")
+        sim.schedule(1.0, actor.deliver, "b", "x")
+        sim.run()
+        assert [t for t, _m, _s in actor.seen] == [0.0, 5.0]
+
+
+class TestFailureSemantics:
+    def test_down_actor_loses_messages(self):
+        sim = Simulator()
+        actor = Recorder(sim, "w")
+        actor.fail()
+        actor.deliver("lost", "x")
+        sim.run()
+        assert actor.seen == []
+
+    def test_fail_clears_inbox(self):
+        sim = Simulator()
+        actor = Recorder(sim, "w", cost=10.0)
+        actor.deliver("a", "x")
+        actor.deliver("b", "x")
+        sim.schedule(1.0, actor.fail)
+        sim.run()
+        # "a" started service at t=0; "b" was still queued and is lost.
+        assert [m for _t, m, _s in actor.seen] == ["a"]
+
+    def test_recover_resumes_service(self):
+        sim = Simulator()
+        actor = Recorder(sim, "w", cost=1.0)
+        actor.fail()
+        sim.schedule(5.0, actor.recover)
+        sim.schedule(6.0, actor.deliver, "after", "x")
+        sim.run()
+        assert [m for _t, m, _s in actor.seen] == ["after"]
+
+    def test_failure_hooks_fire(self):
+        sim = Simulator()
+        events = []
+
+        class Hooked(Recorder):
+            def on_failure(self):
+                events.append("fail")
+
+            def on_recover(self):
+                events.append("recover")
+
+        actor = Hooked(sim, "w")
+        actor.fail()
+        actor.recover()
+        assert events == ["fail", "recover"]

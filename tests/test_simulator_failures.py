@@ -1,0 +1,63 @@
+"""Unit tests for failure injection and random streams."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import FailureInjector, RandomStreams, Simulator
+from tests.test_simulator_actors import Recorder
+
+
+class TestFailureInjector:
+    def test_kill_and_recover_at_times(self):
+        sim = Simulator()
+        actor = Recorder(sim, "w", cost=0.0)
+        injector = FailureInjector(sim)
+        injector.kill_at(5.0, "w", recover_after=3.0)
+        sim.schedule(6.0, actor.deliver, "during", "x")
+        sim.schedule(9.0, actor.deliver, "after", "x")
+        sim.run()
+        assert [m for _t, m, _s in actor.seen] == ["after"]
+        record = injector.log.records[0]
+        assert record.failed_at == 5.0
+        assert record.recovered_at == 8.0
+
+    def test_kill_in_past_rejected(self):
+        sim = Simulator()
+        Recorder(sim, "w")
+        injector = FailureInjector(sim)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            injector.kill_at(1.0, "w")
+
+    def test_kill_now(self):
+        sim = Simulator()
+        actor = Recorder(sim, "w")
+        FailureInjector(sim).kill_now("w")
+        sim.run()
+        assert actor.down
+
+
+class TestRandomStreams:
+    def test_same_name_same_draws(self):
+        streams = RandomStreams(seed=11)
+        a = streams.stream("x").random(5)
+        b = streams.stream("x").random(5)
+        assert list(a) == list(b)
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(seed=11)
+        a = streams.stream("x").random(5)
+        b = streams.stream("y").random(5)
+        assert list(a) != list(b)
+
+    def test_spawn_children_independent(self):
+        streams = RandomStreams(seed=11)
+        child_a = streams.spawn("node-a").stream("noise").random(3)
+        child_b = streams.spawn("node-b").stream("noise").random(3)
+        assert list(child_a) != list(child_b)
+
+    def test_spawn_deterministic(self):
+        a = RandomStreams(seed=5).spawn("n").stream("s").random(3)
+        b = RandomStreams(seed=5).spawn("n").stream("s").random(3)
+        assert list(a) == list(b)

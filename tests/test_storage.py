@@ -1,0 +1,155 @@
+"""Unit + property tests for the versioned store, backends, checkpoints."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.simulator import SimulatedDisk, Simulator
+from repro.storage import (CheckpointManifest, DiskBackend, InMemoryBackend,
+                           VersionedStore)
+
+
+class TestVersionedStore:
+    def test_put_get_roundtrip(self):
+        store = VersionedStore()
+        store.put("main", "v1", 3, "value")
+        assert store.get("main", "v1") == "value"
+        assert store.get_version("main", "v1") == (3, "value")
+
+    def test_snapshot_reads_latest_at_or_below_bound(self):
+        store = VersionedStore()
+        for iteration, value in [(1, "a"), (5, "b"), (9, "c")]:
+            store.put("main", "k", iteration, value)
+        assert store.get("main", "k", max_iteration=5) == "b"
+        assert store.get("main", "k", max_iteration=6) == "b"
+        assert store.get("main", "k", max_iteration=100) == "c"
+        assert store.get_version("main", "k", max_iteration=0) is None
+
+    def test_missing_key_raises(self):
+        store = VersionedStore()
+        with pytest.raises(StorageError):
+            store.get("main", "ghost")
+
+    def test_same_iteration_overwrites(self):
+        store = VersionedStore()
+        store.put("main", "k", 2, "old")
+        store.put("main", "k", 2, "new")
+        assert store.get("main", "k") == "new"
+        assert store.version_count("main") == 1
+
+    def test_out_of_order_puts(self):
+        store = VersionedStore()
+        store.put("main", "k", 9, "late")
+        store.put("main", "k", 2, "early")
+        assert store.get("main", "k", max_iteration=3) == "early"
+        assert store.get("main", "k") == "late"
+
+    def test_negative_iteration_rejected(self):
+        store = VersionedStore()
+        with pytest.raises(StorageError):
+            store.put("main", "k", -1, "v")
+
+    def test_loops_are_isolated(self):
+        store = VersionedStore()
+        store.put("main", "k", 1, "main-value")
+        store.put("branch-1", "k", 1, "branch-value")
+        assert store.get("main", "k") == "main-value"
+        assert store.get("branch-1", "k") == "branch-value"
+        assert store.drop_loop("branch-1") == 1
+        with pytest.raises(StorageError):
+            store.get("branch-1", "k")
+
+    def test_snapshot_whole_loop(self):
+        store = VersionedStore()
+        store.put("main", "a", 1, 10)
+        store.put("main", "a", 4, 40)
+        store.put("main", "b", 2, 20)
+        view = store.snapshot("main", max_iteration=3)
+        assert view == {"a": 10, "b": 20}
+
+    def test_snapshot_skips_keys_born_after_bound(self):
+        store = VersionedStore()
+        store.put("main", "young", 8, 1)
+        assert store.snapshot("main", max_iteration=3) == {}
+
+    def test_truncate_keeps_snapshot_readable(self):
+        store = VersionedStore()
+        for iteration in (1, 3, 5, 7):
+            store.put("main", "k", iteration, iteration * 10)
+        dropped = store.truncate_before("main", 5)
+        assert dropped == 2  # versions 1 and 3 go; 5 stays readable
+        assert store.get("main", "k", max_iteration=6) == 50
+        assert store.get("main", "k") == 70
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 100)),
+                    min_size=1, max_size=40))
+    def test_property_latest_below_bound(self, puts):
+        """get(max_iteration=b) always returns the value with the largest
+        iteration ≤ b, regardless of put order."""
+        store = VersionedStore()
+        reference = {}
+        for iteration, value in puts:
+            store.put("main", "k", iteration, value)
+            reference[iteration] = value
+        for bound in range(22):
+            eligible = [i for i in reference if i <= bound]
+            found = store.get_version("main", "k", max_iteration=bound)
+            if eligible:
+                assert found == (max(eligible), reference[max(eligible)])
+            else:
+                assert found is None
+
+
+class TestBackends:
+    def test_in_memory_flush_cost(self):
+        sim = Simulator()
+        backend = InMemoryBackend(sim, batch_latency=0.01, record_cost=0.0)
+        done = []
+        backend.flush(100, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.01)]
+        assert backend.flushes == 1
+        assert backend.records_flushed == 100
+
+    def test_disk_backend_charges_disk(self):
+        sim = Simulator()
+        disk = SimulatedDisk(sim, "d0", seek_cost=1.0, record_cost=0.1)
+        backend = DiskBackend(disk)
+        done = []
+        backend.flush(10, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(2.0)]
+        assert backend.records_flushed == 10
+
+    def test_disk_backend_read(self):
+        sim = Simulator()
+        disk = SimulatedDisk(sim, "d0", seek_cost=0.5, record_cost=0.0)
+        backend = DiskBackend(disk)
+        done = []
+        backend.read(4, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.5)]
+
+
+class TestCheckpointManifest:
+    def test_flush_frontier_monotone(self):
+        manifest = CheckpointManifest()
+        manifest.record_flush("main", "p0", 5)
+        manifest.record_flush("main", "p0", 3)  # stale report ignored
+        assert manifest.flushed[("main", "p0")] == 5
+
+    def test_restart_iteration(self):
+        manifest = CheckpointManifest()
+        assert manifest.restart_iteration("main") == -1
+        manifest.record_terminated("main", 7)
+        manifest.record_terminated("main", 4)
+        assert manifest.restart_iteration("main") == 7
+
+    def test_durable_frontier_is_min_over_processors(self):
+        manifest = CheckpointManifest()
+        manifest.record_flush("main", "p0", 9)
+        manifest.record_flush("main", "p1", 4)
+        assert manifest.durable_frontier("main", ["p0", "p1"]) == 4
+        assert manifest.durable_frontier("main", ["p0", "p1", "p2"]) == -1
+        assert manifest.durable_frontier("main", []) == -1

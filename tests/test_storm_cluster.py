@@ -1,0 +1,203 @@
+"""Integration tests for the Storm layer: topologies running on the DES,
+acking/replay, supervision."""
+
+import pytest
+
+from repro.simulator import FailureInjector, Network, Simulator
+from repro.storm import (Bolt, ClusterConfig, LocalCluster, Spout,
+                         TopologyBuilder)
+
+WORDS = ["the", "quick", "fox", "the", "lazy", "dog", "the"]
+
+
+class WordSpout(Spout):
+    """Emits one word per tuple, replays failed message ids."""
+
+    def __init__(self):
+        self.pending = list(enumerate(WORDS))
+        self.acked = []
+        self.failed = []
+
+    def open(self, ctx, collector):
+        self.collector = collector
+
+    def next_tuple(self):
+        if not self.pending:
+            return False
+        message_id, word = self.pending.pop(0)
+        self.collector.emit({"word": word, "__message_id__": message_id})
+        return True
+
+    def ack(self, message_id):
+        self.acked.append(message_id)
+
+    def fail(self, message_id):
+        self.failed.append(message_id)
+        self.pending.append((message_id, WORDS[message_id]))
+
+
+class CountBolt(Bolt):
+    counts_by_task = {}
+
+    def prepare(self, ctx, collector):
+        self.collector = collector
+        self.counts = CountBolt.counts_by_task.setdefault(
+            ctx.task_index, {})
+
+    def execute(self, tup):
+        word = tup["word"]
+        self.counts[word] = self.counts.get(word, 0) + 1
+        self.collector.ack(tup)
+        return 1e-4
+
+
+def build_cluster(seed=0, **config_kwargs):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=1e-3)
+    config = ClusterConfig(**config_kwargs)
+    cluster = LocalCluster(sim, network, config)
+    return sim, cluster
+
+
+class TestWordCount:
+    def setup_method(self):
+        CountBolt.counts_by_task = {}
+
+    def test_counts_all_words(self):
+        sim, cluster = build_cluster()
+        builder = TopologyBuilder("wc")
+        spout = WordSpout()
+        builder.set_spout("words", lambda: spout)
+        builder.set_bolt("count", CountBolt, 2).fields_grouping(
+            "words", ("word",))
+        cluster.submit(builder.build())
+        sim.run(until=5.0)
+        merged = {}
+        for counts in CountBolt.counts_by_task.values():
+            for word, count in counts.items():
+                merged[word] = merged.get(word, 0) + count
+        assert merged == {"the": 3, "quick": 1, "fox": 1, "lazy": 1, "dog": 1}
+
+    def test_fields_grouping_keeps_word_on_one_task(self):
+        sim, cluster = build_cluster()
+        builder = TopologyBuilder("wc")
+        builder.set_spout("words", WordSpout)
+        builder.set_bolt("count", CountBolt, 2).fields_grouping(
+            "words", ("word",))
+        cluster.submit(builder.build())
+        sim.run(until=5.0)
+        tasks_with_the = [task for task, counts in
+                          CountBolt.counts_by_task.items() if "the" in counts]
+        assert len(tasks_with_the) == 1
+
+    def test_acks_reach_spout(self):
+        sim, cluster = build_cluster()
+        builder = TopologyBuilder("wc")
+        spout = WordSpout()
+        builder.set_spout("words", lambda: spout)
+        builder.set_bolt("count", CountBolt, 1).shuffle_grouping("words")
+        cluster.submit(builder.build())
+        sim.run(until=10.0)
+        assert sorted(spout.acked) == list(range(len(WORDS)))
+        assert cluster.acker.completed == len(WORDS)
+        assert cluster.acker.pending_trees == 0
+
+    def test_unacked_tuples_time_out_and_replay(self):
+        class DroppingBolt(Bolt):
+            """Never acks the first tuple it sees."""
+
+            dropped = False
+
+            def prepare(self, ctx, collector):
+                self.collector = collector
+                self.seen = []
+
+            def execute(self, tup):
+                self.seen.append(tup["word"])
+                if not DroppingBolt.dropped:
+                    DroppingBolt.dropped = True
+                    return 1e-4  # no ack -> tree times out
+                self.collector.ack(tup)
+                return 1e-4
+
+        DroppingBolt.dropped = False
+        sim, cluster = build_cluster(tuple_timeout=0.5)
+        builder = TopologyBuilder("wc")
+        spout = WordSpout()
+        builder.set_spout("words", lambda: spout)
+        builder.set_bolt("count", DroppingBolt, 1).shuffle_grouping("words")
+        cluster.submit(builder.build())
+        sim.run(until=20.0)
+        assert len(spout.failed) == 1
+        # The failed message was replayed and eventually acked.
+        assert sorted(spout.acked) == list(range(len(WORDS)))
+
+    def test_metrics_aggregate_across_tasks(self):
+        sim, cluster = build_cluster()
+        builder = TopologyBuilder("wc")
+        builder.set_spout("words", WordSpout)
+        builder.set_bolt("count", CountBolt, 2).fields_grouping(
+            "words", ("word",))
+        cluster.submit(builder.build())
+        sim.run(until=5.0)
+        metrics = cluster.metrics("count")
+        assert metrics.executed == len(WORDS)
+        assert metrics.acked == len(WORDS)
+        assert cluster.metrics("words").emitted == len(WORDS)
+
+
+class TestSupervision:
+    def setup_method(self):
+        CountBolt.counts_by_task = {}
+
+    def test_crashed_bolt_restarted(self):
+        sim, cluster = build_cluster(tuple_timeout=0.5)
+        builder = TopologyBuilder("wc")
+        spout = WordSpout()
+        builder.set_spout("words", lambda: spout)
+        builder.set_bolt("count", CountBolt, 1).shuffle_grouping("words")
+        cluster.submit(builder.build())
+        cluster.enable_supervision(heartbeat=0.1, restart_delay=0.1)
+        injector = FailureInjector(sim)
+        task = cluster.task_name("count", 0)
+        injector.kill_at(0.001, task)
+        sim.run(until=30.0)
+        assert not cluster.executors[task].down
+        # Timed-out tuples were replayed after the restart.
+        assert sorted(spout.acked) == list(range(len(WORDS)))
+
+    def test_direct_emit_targets_specific_task(self):
+        class Tagger(Bolt):
+            received = {}
+
+            def prepare(self, ctx, collector):
+                Tagger.received.setdefault(ctx.task_index, [])
+                self.task_index = ctx.task_index
+
+            def execute(self, tup):
+                Tagger.received[self.task_index].append(tup["word"])
+                return 0.0
+
+        class DirectSpout(Spout):
+            def __init__(self):
+                self.sent = False
+
+            def open(self, ctx, collector):
+                self.collector = collector
+
+            def next_tuple(self):
+                if self.sent:
+                    return False
+                self.sent = True
+                self.collector.emit_direct(2, {"word": "only-for-2"})
+                return True
+
+        Tagger.received = {}
+        sim, cluster = build_cluster()
+        builder = TopologyBuilder("d")
+        builder.set_spout("s", DirectSpout)
+        builder.set_bolt("t", Tagger, 3).direct_grouping("s")
+        cluster.submit(builder.build())
+        sim.run(until=2.0)
+        assert Tagger.received.get(2) == ["only-for-2"]
+        assert Tagger.received.get(0, []) == []

@@ -1,0 +1,83 @@
+"""Tests for Storm tick tuples."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.simulator import Network, Simulator
+from repro.storm import (Bolt, ClusterConfig, LocalCluster, Spout,
+                         TopologyBuilder, is_tick)
+
+
+class SilentSpout(Spout):
+    def next_tuple(self):
+        return False
+
+
+class TickCounter(Bolt):
+    instances = []
+
+    def prepare(self, ctx, collector):
+        self.ticks = []
+        self.data = []
+        TickCounter.instances.append(self)
+
+    def execute(self, tup):
+        if is_tick(tup):
+            self.ticks.append(tup)
+        else:
+            self.data.append(tup)
+        return 1e-5
+
+
+def build(tick_interval=None, parallelism=1):
+    TickCounter.instances = []
+    sim = Simulator()
+    cluster = LocalCluster(sim, Network(sim, latency=1e-4),
+                           ClusterConfig())
+    builder = TopologyBuilder("ticky")
+    builder.set_spout("idle", SilentSpout)
+    declarer = builder.set_bolt("counter", TickCounter,
+                                parallelism).shuffle_grouping("idle")
+    if tick_interval is not None:
+        declarer.with_tick(tick_interval)
+    cluster.submit(builder.build())
+    return sim, cluster
+
+
+class TestTickTuples:
+    def test_ticks_arrive_at_interval(self):
+        sim, _cluster = build(tick_interval=1.0)
+        sim.run(until=5.5)
+        bolt = TickCounter.instances[0]
+        assert len(bolt.ticks) == 5
+        assert all(is_tick(t) for t in bolt.ticks)
+
+    def test_every_task_gets_ticks(self):
+        sim, _cluster = build(tick_interval=1.0, parallelism=3)
+        sim.run(until=3.5)
+        assert len(TickCounter.instances) == 3
+        assert all(len(bolt.ticks) == 3 for bolt in TickCounter.instances)
+
+    def test_no_ticks_without_config(self):
+        sim, _cluster = build(tick_interval=None)
+        sim.run(until=5.0)
+        assert TickCounter.instances[0].ticks == []
+
+    def test_ticks_skip_crashed_tasks(self):
+        sim, cluster = build(tick_interval=1.0)
+        task = cluster.task_name("counter", 0)
+        sim.schedule(2.5, cluster.executors[task].fail)
+        sim.run(until=6.0)
+        assert len(TickCounter.instances[0].ticks) == 2
+
+    def test_bad_interval_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", SilentSpout)
+        declarer = builder.set_bolt("b", TickCounter)
+        with pytest.raises(TopologyError):
+            declarer.with_tick(0.0)
+
+    def test_is_tick_rejects_data_tuples(self):
+        from repro.storm import StormTuple
+
+        assert not is_tick(StormTuple("user", "default", {}, 1))

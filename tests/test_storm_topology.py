@@ -1,0 +1,95 @@
+"""Unit tests for topology building and groupings."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.storm import (AllGrouping, Bolt, FieldsGrouping, GlobalGrouping,
+                         ShuffleGrouping, Spout, StormTuple, TopologyBuilder)
+
+
+class NullSpout(Spout):
+    def next_tuple(self):
+        return False
+
+
+class NullBolt(Bolt):
+    def execute(self, tup):
+        return 0.0
+
+
+def make_tuple(values, component="c", stream="default"):
+    return StormTuple(component, stream, values, tuple_id=1)
+
+
+class TestTopologyBuilder:
+    def test_builds_valid_topology(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("source", NullSpout, parallelism=2)
+        builder.set_bolt("work", NullBolt, 3).shuffle_grouping("source")
+        topology = builder.build()
+        assert len(topology.spouts()) == 1
+        assert len(topology.bolts()) == 1
+        subscribers = topology.subscribers("source", "default")
+        assert [spec.name for spec, _g in subscribers] == ["work"]
+
+    def test_duplicate_names_rejected(self):
+        builder = TopologyBuilder()
+        builder.set_spout("x", NullSpout)
+        with pytest.raises(TopologyError):
+            builder.set_bolt("x", NullBolt)
+
+    def test_unknown_upstream_rejected(self):
+        builder = TopologyBuilder()
+        builder.set_spout("s", NullSpout)
+        declarer = builder.set_bolt("b", NullBolt)
+        with pytest.raises(TopologyError):
+            declarer.shuffle_grouping("ghost")
+
+    def test_topology_without_spout_rejected(self):
+        builder = TopologyBuilder()
+        builder.set_bolt("b", NullBolt)
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_bad_parallelism_rejected(self):
+        builder = TopologyBuilder()
+        with pytest.raises(TopologyError):
+            builder.set_spout("s", NullSpout, parallelism=0)
+
+    def test_multiple_streams_route_independently(self):
+        builder = TopologyBuilder()
+        builder.set_spout("s", NullSpout)
+        builder.set_bolt("a", NullBolt).shuffle_grouping("s", "left")
+        builder.set_bolt("b", NullBolt).shuffle_grouping("s", "right")
+        topology = builder.build()
+        assert [s.name for s, _g in topology.subscribers("s", "left")] == ["a"]
+        assert [s.name for s, _g in topology.subscribers("s", "right")] == ["b"]
+
+
+class TestGroupings:
+    def test_shuffle_round_robins(self):
+        grouping = ShuffleGrouping()
+        targets = [grouping.targets(make_tuple({}), 3)[0] for _ in range(6)]
+        assert targets == [0, 1, 2, 0, 1, 2]
+
+    def test_fields_grouping_stable(self):
+        grouping = FieldsGrouping(("key",))
+        a1 = grouping.targets(make_tuple({"key": "a"}), 8)
+        a2 = grouping.targets(make_tuple({"key": "a"}), 8)
+        assert a1 == a2
+
+    def test_fields_grouping_spreads(self):
+        grouping = FieldsGrouping(("key",))
+        targets = {grouping.targets(make_tuple({"key": k}), 16)[0]
+                   for k in range(100)}
+        assert len(targets) > 4
+
+    def test_fields_grouping_needs_fields(self):
+        with pytest.raises(TopologyError):
+            FieldsGrouping(())
+
+    def test_all_grouping_broadcasts(self):
+        assert AllGrouping().targets(make_tuple({}), 4) == (0, 1, 2, 3)
+
+    def test_global_grouping_targets_task_zero(self):
+        assert GlobalGrouping().targets(make_tuple({}), 4) == (0,)

@@ -1,0 +1,97 @@
+"""Unit + property tests for the turnstile stream model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streams import (ADD_EDGE, REMOVE_EDGE, StreamTuple,
+                           TurnstileState, prefix_at)
+
+
+def tup(t, payload, weight=1, kind=ADD_EDGE):
+    return StreamTuple(t, kind, payload, weight)
+
+
+class TestTurnstileState:
+    def test_insert_then_delete_cancels(self):
+        state = TurnstileState()
+        state.apply(tup(1.0, ("a", "b")))
+        state.apply(tup(2.0, ("a", "b"), weight=-1))
+        assert state.multiplicity(ADD_EDGE, ("a", "b")) == 0
+        assert len(state) == 0
+
+    def test_multiplicities_accumulate(self):
+        state = TurnstileState()
+        for t in (1.0, 2.0, 3.0):
+            state.apply(tup(t, "x"))
+        assert state.multiplicity(ADD_EDGE, "x") == 3
+
+    def test_delete_before_insert_allowed(self):
+        # At-least-once delivery can reorder; algebra must stay commutative.
+        state = TurnstileState()
+        state.apply(tup(1.0, "x", weight=-1))
+        assert state.multiplicity(ADD_EDGE, "x") == -1
+        state.apply(tup(2.0, "x"))
+        assert state.multiplicity(ADD_EDGE, "x") == 0
+
+    def test_items_filter_by_kind(self):
+        state = TurnstileState()
+        state.apply(tup(1.0, "e", kind=ADD_EDGE))
+        state.apply(tup(1.0, "r", kind=REMOVE_EDGE))
+        assert dict(state.items(ADD_EDGE)) == {"e": 1}
+        assert len(dict(state.items())) == 2
+
+    def test_tracks_last_timestamp_and_count(self):
+        state = TurnstileState()
+        state.apply(tup(5.0, "a"))
+        state.apply(tup(2.0, "b"))
+        assert state.last_timestamp == 5.0
+        assert state.applied == 2
+
+
+class TestPrefixAt:
+    def test_only_tuples_at_or_before_instant(self):
+        stream = [tup(1.0, "a"), tup(2.0, "b"), tup(3.0, "c")]
+        state = prefix_at(stream, 2.0)
+        assert state.multiplicity(ADD_EDGE, "a") == 1
+        assert state.multiplicity(ADD_EDGE, "b") == 1
+        assert state.multiplicity(ADD_EDGE, "c") == 0
+
+    def test_empty_prefix(self):
+        assert len(prefix_at([tup(1.0, "a")], 0.5)) == 0
+
+
+payloads = st.integers(min_value=0, max_value=5)
+tuples = st.builds(tup,
+                   st.floats(min_value=0, max_value=10,
+                             allow_nan=False),
+                   payloads,
+                   st.sampled_from([-1, 1]))
+
+
+class TestTurnstileProperties:
+    @given(st.lists(tuples, max_size=50))
+    def test_order_independence(self, stream):
+        """S[t] is a sum: applying tuples in any order gives one state."""
+        forward, backward = TurnstileState(), TurnstileState()
+        for item in stream:
+            forward.apply(item)
+        for item in reversed(stream):
+            backward.apply(item)
+        assert forward.counts == backward.counts
+
+    @given(st.lists(tuples, max_size=50))
+    def test_multiplicity_equals_weight_sum(self, stream):
+        state = TurnstileState()
+        for item in stream:
+            state.apply(item)
+        for payload in set(item.payload for item in stream):
+            expected = sum(item.weight for item in stream
+                           if item.payload == payload)
+            assert state.multiplicity(ADD_EDGE, payload) == expected
+
+    @given(st.lists(tuples, max_size=50),
+           st.floats(min_value=0, max_value=10, allow_nan=False))
+    def test_prefix_monotone_in_applied_count(self, stream, instant):
+        early = prefix_at(stream, instant)
+        everything = prefix_at(stream, float("inf"))
+        assert early.applied <= everything.applied

@@ -1,0 +1,79 @@
+"""Unit + property tests for stream windowing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streams import ADD_EDGE, StreamTuple, prefix_at
+from repro.streams.windows import sliding_window, tumbling_windows
+
+
+def tup(t, payload, weight=1):
+    return StreamTuple(t, ADD_EDGE, payload, weight)
+
+
+class TestSlidingWindow:
+    def test_items_expire_after_window(self):
+        stream = sliding_window([tup(1.0, "a"), tup(2.0, "b")], window=5.0)
+        live_at_3 = prefix_at(stream, 3.0)
+        assert live_at_3.multiplicity(ADD_EDGE, "a") == 1
+        live_at_7 = prefix_at(stream, 7.0)
+        assert live_at_7.multiplicity(ADD_EDGE, "a") == 0
+        assert live_at_7.multiplicity(ADD_EDGE, "b") == 0
+
+    def test_retraction_timestamps(self):
+        stream = sliding_window([tup(1.0, "a")], window=2.5)
+        assert [s.timestamp for s in stream] == [1.0, 3.5]
+        assert [s.weight for s in stream] == [1, -1]
+
+    def test_existing_retractions_pass_through(self):
+        stream = sliding_window([tup(1.0, "a"), tup(2.0, "a", weight=-1)],
+                                window=10.0)
+        live_at_5 = prefix_at(stream, 5.0)
+        assert live_at_5.multiplicity(ADD_EDGE, "a") == 0
+
+    def test_output_sorted(self):
+        stream = sliding_window([tup(5.0, "x"), tup(1.0, "y")], window=1.0)
+        times = [s.timestamp for s in stream]
+        assert times == sorted(times)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            sliding_window([], window=0.0)
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.integers(0, 5)), max_size=30),
+        st.floats(min_value=0.1, max_value=10))
+    def test_property_window_content_matches_naive(self, items, window):
+        """At any probe instant, the windowed stream's live multiset equals
+        the naive 'items inserted within the last `window` seconds'."""
+        stream = sliding_window([tup(t, p) for t, p in items], window)
+        for probe in (0.0, 5.0, 50.0, 100.0):
+            live = prefix_at(stream, probe)
+            for _t, payload in items:
+                expected = sum(
+                    1 for t, p in items
+                    if p == payload and t <= probe and t + window > probe)
+                assert live.multiplicity(ADD_EDGE, payload) == expected
+
+
+class TestTumblingWindows:
+    def test_groups_by_width(self):
+        stream = [tup(0.5, "a"), tup(1.5, "b"), tup(1.7, "c"),
+                  tup(3.2, "d")]
+        windows = list(tumbling_windows(stream, width=1.0))
+        assert [(i, [s.payload for s in ts]) for i, ts in windows] == [
+            (0, ["a"]), (1, ["b", "c"]), (3, ["d"])]
+
+    def test_unsorted_input_ok(self):
+        stream = [tup(3.0, "late"), tup(0.1, "early")]
+        windows = list(tumbling_windows(stream, width=1.0))
+        assert windows[0][1][0].payload == "early"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            list(tumbling_windows([], width=-1.0))
+
+    def test_empty_stream(self):
+        assert list(tumbling_windows([], width=1.0)) == []
