@@ -20,7 +20,6 @@ communication and computation but train on staler weights.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 import numpy as np
 

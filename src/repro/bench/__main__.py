@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench                 # all experiments, small scale
     python -m repro.bench --medium        # larger scale (slower)
     python -m repro.bench fig5 table2     # a subset
+    python -m repro.bench --trace fig8c   # record + print protocol phases
 """
 
 from __future__ import annotations
@@ -22,7 +23,8 @@ from repro.bench import (MEDIUM, SMALL, run_ablation_activation,
 from repro.bench.harness import ExperimentResult
 
 
-def _experiments(scale) -> dict[str, Callable[[], ExperimentResult]]:
+def _experiments(scale, trace: bool = False
+                 ) -> dict[str, Callable[[], ExperimentResult]]:
     return {
         "table1": lambda: run_table1(scale),
         "fig5-sssp": lambda: run_fig5("sssp", scale),
@@ -35,8 +37,9 @@ def _experiments(scale) -> dict[str, Callable[[], ExperimentResult]]:
         "table2": lambda: run_table2(scale),
         "fig8a": lambda: run_fig8a(scale),
         "fig8b": lambda: run_fig8b(scale),
-        "fig8c": lambda: run_failure_figure("master", scale),
-        "fig8d": lambda: run_failure_figure("processor", scale),
+        "fig8c": lambda: run_failure_figure("master", scale, trace=trace),
+        "fig8d": lambda: run_failure_figure("processor", scale,
+                                            trace=trace),
         "fig9": lambda: run_fig9(scale),
         "table3": lambda: run_table3(scale),
         "ablation-activation": lambda: run_ablation_activation(scale),
@@ -47,8 +50,9 @@ def _experiments(scale) -> dict[str, Callable[[], ExperimentResult]]:
 
 def main(argv: list[str]) -> int:
     scale = MEDIUM if "--medium" in argv else SMALL
+    trace = "--trace" in argv
     wanted = [a for a in argv if not a.startswith("-")]
-    experiments = _experiments(scale)
+    experiments = _experiments(scale, trace=trace)
     if wanted:
         unknown = [w for w in wanted
                    if not any(k.startswith(w) for k in experiments)]
@@ -64,6 +68,10 @@ def main(argv: list[str]) -> int:
         result = runner()
         elapsed = time.time() - started
         print(result.report())
+        for bound, table in sorted(
+                result.extras.get("phase_tables", {}).items()):
+            print(f"-- protocol phases (delay bound {bound}) --")
+            print(table)
         print(f"(wall time: {elapsed:.1f}s)")
         print()
         if not result.all_checks_pass:

@@ -23,6 +23,7 @@ from repro.algorithms.sgd import PARAM, HingeLoss
 from repro.bench.harness import ExperimentResult
 from repro.bench.workloads import SMALL, Scale, sssp_bundle, svm_bundle
 from repro.core import TornadoJob
+from repro.obs import phase_counts, render_phase_table
 
 DELAY_BOUNDS = (1, 256, 65536)
 
@@ -85,15 +86,17 @@ def run_fig8b(scale: Scale = SMALL,
 
 def _failure_run(kind: str, bound: int, scale: Scale, dt: float,
                  fail_delay: float, recover_after: float,
-                 horizon: float) -> tuple[list[tuple[float, float]], bool]:
+                 horizon: float, trace: bool = False
+                 ) -> tuple[list[tuple[float, float]], bool, TornadoJob]:
     """Run one SSSP *branch loop* (the paper's §6.3.2 setup: from the
     default guess, half the stream ingested), kill the master or a
     processor mid-run, and sample updates/second.  Returns the rate
-    series (times relative to the fork) and whether the branch converged
-    within the horizon."""
+    series (times relative to the fork), whether the branch converged
+    within the horizon, and the finished job (whose flight recorder holds
+    the run's trace when ``trace`` is set)."""
     bundle = sssp_bundle(scale, delay_bound=bound,
                          main_loop_mode="batch", merge_policy="never",
-                         report_interval=0.01,
+                         report_interval=0.01, trace_enabled=trace,
                          # Inflate per-update compute so the branch runs
                          # long enough for the outage to land mid-flight.
                          gather_cost=5e-3)
@@ -117,15 +120,23 @@ def _failure_run(kind: str, bound: int, scale: Scale, dt: float,
             break
     # Let any still-running branch finish within the remaining horizon.
     done = job.ingester.query_done(query_id)
-    return series, done
+    return series, done, job
 
 
 def run_failure_figure(kind: str, scale: Scale = SMALL,
                        delay_bounds: tuple[int, ...] = DELAY_BOUNDS,
                        dt: float = 0.1, fail_delay: float = 0.3,
                        recover_after: float = 1.2,
-                       horizon: float = 20.0) -> ExperimentResult:
-    """Shared driver for Figures 8c (master) and 8d (processor)."""
+                       horizon: float = 20.0,
+                       trace: bool = False) -> ExperimentResult:
+    """Shared driver for Figures 8c (master) and 8d (processor).
+
+    With ``trace=True`` every run records into its flight recorder, and
+    the per-iteration protocol-phase counts (updates/prepares/acks/
+    commits) land in ``result.extras["phase_counts"]`` /
+    ``result.extras["phase_tables"]`` — the recorder-side explanation of
+    where each loop stalls during the outage.
+    """
     assert kind in ("master", "processor")
     label = "master" if kind == "master" else "single processor"
     result = ExperimentResult(
@@ -136,10 +147,18 @@ def run_failure_figure(kind: str, scale: Scale = SMALL,
     series: dict[int, list[tuple[float, float]]] = {}
     converged: dict[int, bool] = {}
     for bound in delay_bounds:
-        samples, done = _failure_run(kind, bound, scale, dt, fail_delay,
-                                     recover_after, horizon)
+        samples, done, job = _failure_run(kind, bound, scale, dt,
+                                          fail_delay, recover_after,
+                                          horizon, trace=trace)
         series[bound] = samples
         converged[bound] = done
+        if trace:
+            result.extras.setdefault("phase_counts", {})[bound] = (
+                phase_counts(job.trace))
+            result.extras.setdefault("phase_tables", {})[bound] = (
+                render_phase_table(job.trace))
+            result.extras.setdefault("trace_digests", {})[bound] = (
+                job.trace.digest())
         for at, rate in samples:
             result.add_row(delay_bound=bound, time_s=round(at, 3),
                            updates_per_s=rate)

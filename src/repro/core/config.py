@@ -76,6 +76,14 @@ class TornadoConfig:
     #: Minimum virtual time between two rebalances.
     rebalance_cooldown: float = 1.0
 
+    # ------------------------------------------------------- observability
+    #: Enable the flight recorder (repro.obs.TraceRecorder).  Off by
+    #: default: hot paths then pay a single boolean check per guarded
+    #: site.  The metrics registry is always on (instruments are cheap).
+    trace_enabled: bool = False
+    #: Ring-buffer capacity of the flight recorder (events retained).
+    trace_capacity: int = 262_144
+
     #: Extra safety margin for approximate-mode forks: also activate
     #: vertices that committed within this window of virtual seconds
     #: before the fork.  In-flight scatters are tracked exactly through
@@ -99,3 +107,5 @@ class TornadoConfig:
                 f"unknown admission policy: {self.branch_admission!r}")
         if self.max_concurrent_branches < 1:
             raise ValueError("max_concurrent_branches must be >= 1")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")

@@ -21,6 +21,7 @@ from repro.core.partition import PartitionScheme
 from repro.core.processor import Processor
 from repro.core.vertex import Application
 from repro.errors import QueryError
+from repro.obs import MetricsRegistry, TraceRecorder
 from repro.simulator import (FailureInjector, Network, SimulatedDisk,
                              Simulator)
 from repro.storage import (CheckpointManifest, DiskBackend, InMemoryBackend,
@@ -54,7 +55,10 @@ class TornadoJob:
                  config: TornadoConfig | None = None) -> None:
         self.app = app
         self.config = config if config is not None else TornadoConfig()
-        self.sim = Simulator(seed=self.config.seed)
+        self.sim = Simulator(
+            seed=self.config.seed,
+            recorder=TraceRecorder(capacity=self.config.trace_capacity,
+                                   enabled=self.config.trace_enabled))
         self.network = Network(
             self.sim,
             latency=self.config.net_latency,
@@ -164,6 +168,17 @@ class TornadoJob:
         )
 
     # ------------------------------------------------------------- metrics
+    @property
+    def trace(self) -> TraceRecorder:
+        """The job's flight recorder (enable via
+        ``TornadoConfig(trace_enabled=True)``)."""
+        return self.sim.trace
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The job's shared metrics registry."""
+        return self.sim.metrics
+
     def main_values(self) -> dict[Any, Any]:
         """Current in-memory main-loop values across all processors (the
         approximation the next branch would start from)."""

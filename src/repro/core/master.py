@@ -118,6 +118,13 @@ class Master(Actor):
             for iteration in terminated:
                 self.manifest.record_terminated(report.loop, iteration)
                 times.append((iteration, self.sim.now))
+                if self.sim.trace.enabled:
+                    self.sim.trace.record(self.sim.now, "progress",
+                                          "terminated", actor=self.name,
+                                          loop=report.loop,
+                                          iteration=iteration)
+            self.sim.metrics.counter("core.iterations_terminated").inc(
+                len(terminated))
             self._broadcast(IterationTerminated(report.loop, terminated[-1]))
         record = self.durable.branches.get(report.loop)
         if record is not None and not record.done and tracker.converged:
@@ -167,6 +174,13 @@ class Master(Actor):
             for vertex, new_owner in moves:
                 self.partition.reassign(vertex, new_owner)
             self.rebalances += 1
+            self.sim.metrics.counter("core.rebalances").inc()
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, "loop", "rebalance",
+                                      actor=self.name,
+                                      moves=len(moves),
+                                      source=hot_processor,
+                                      target=cold_processor)
             self._broadcast(Repartition(self.partition.version, moves))
         self.transport.send(self.ingester_name, ResumeIngest())
 
@@ -216,6 +230,12 @@ class Master(Actor):
         )
         self.durable.branches[loop] = record
         self._make_tracker(loop)
+        self.sim.metrics.counter("core.branches_forked").inc()
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "loop", "fork",
+                                  actor=self.name, loop=loop,
+                                  query=query.query_id,
+                                  iteration=record.fork_iteration)
         self._broadcast(ForkBranch(
             loop=loop,
             fork_iteration=record.fork_iteration,
@@ -230,6 +250,11 @@ class Master(Actor):
         record.done = True
         record.converged_at = self.sim.now
         record.converged_iteration = tracker.last_terminated
+        self.sim.metrics.counter("core.branches_converged").inc()
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "loop", "converged",
+                                  actor=self.name, loop=record.loop,
+                                  iteration=record.converged_iteration)
         should_merge = self.config.merge_policy == "always"
         if self.config.merge_policy == "if_quiescent":
             main_inputs = self.trackers[MAIN_LOOP].total_inputs()
@@ -254,6 +279,11 @@ class Master(Actor):
 
     # ------------------------------------------------------------ recovery
     def _handle_processor_recovered(self, msg: ProcessorRecovered) -> float:
+        self.sim.metrics.counter("core.processor_recoveries").inc()
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "loop", "recovered",
+                                  actor=self.name,
+                                  processor=msg.processor)
         for tracker in self.trackers.values():
             tracker.forget_processor(msg.processor)
         loops = [(MAIN_LOOP, self.manifest.restart_iteration(MAIN_LOOP))]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.simulator import Simulator
+from repro.simulator import Event, Simulator
 
 
 @dataclass
@@ -40,18 +40,28 @@ class RateSampler:
         self.samples: list[RateSample] = []
         self._previous = float(counter())
         self._running = False
+        # Handle of the scheduled tick, so stop() can cancel it.  Merely
+        # flipping _running would leave the stale tick in the queue: a
+        # start() before it fires would then run two live tick chains,
+        # duplicating and offsetting samples.
+        self._pending: Event | None = None
         if start:
             self.start()
 
     def start(self) -> None:
         if not self._running:
             self._running = True
-            self.sim.schedule(self.interval, self._tick)
+            self._previous = float(self.counter())
+            self._pending = self.sim.schedule(self.interval, self._tick)
 
     def stop(self) -> None:
         self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
 
     def _tick(self) -> None:
+        self._pending = None
         if not self._running:
             return
         current = float(self.counter())
@@ -61,7 +71,7 @@ class RateSampler:
             total=current,
         ))
         self._previous = current
-        self.sim.schedule(self.interval, self._tick)
+        self._pending = self.sim.schedule(self.interval, self._tick)
 
     # ------------------------------------------------------------ queries
     def rates(self) -> list[tuple[float, float]]:

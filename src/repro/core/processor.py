@@ -112,6 +112,16 @@ class Processor(Actor):
         self.total_commits = 0
         self.total_updates_gathered = 0
         self.total_prepares = 0
+        # Shared observability sinks (see repro.obs): instruments are
+        # cached here so the hot paths pay one attribute load + call.
+        self._trace = sim.trace
+        metrics = sim.metrics
+        self._m_updates = metrics.counter("core.updates_gathered")
+        self._m_prepares = metrics.counter("core.prepares_sent")
+        self._m_acks = metrics.counter("core.acks_sent")
+        self._m_commits = metrics.counter("core.commits")
+        self._m_flushes = metrics.counter("core.checkpoint_flushes")
+        self._g_delay_buffer = metrics.gauge(f"core.{name}.delay_buffer")
 
     # ----------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -290,6 +300,13 @@ class Processor(Actor):
         if msg.iteration >= blocked_at:
             heapq.heappush(loop.buffered_updates,
                            (msg.iteration, next(loop._buffer_seq), msg))
+            self._g_delay_buffer.set(len(loop.buffered_updates))
+            if self._trace.enabled:
+                self._trace.record(self.sim.now, "protocol",
+                                   "delay_buffered", actor=self.name,
+                                   loop=loop.name,
+                                   iteration=msg.iteration,
+                                   depth=len(loop.buffered_updates))
             return self.config.control_cost
         return self._apply_update(loop, msg)
 
@@ -301,6 +318,11 @@ class Processor(Actor):
         loop.counter(msg.iteration)[2] += 1
         loop.gathered_total += 1
         self.total_updates_gathered += 1
+        self._m_updates.inc()
+        if self._trace.enabled:
+            self._trace.record(self.sim.now, "protocol", "update",
+                               actor=self.name, loop=loop.name,
+                               iteration=msg.iteration)
         cost = self.app.program.gather_cost(ctx, msg.producer, msg.data)
         if cost is None:
             cost = self.config.gather_cost
@@ -353,12 +375,23 @@ class Processor(Actor):
                     action.update_time), tag=loop.name)
                 loop.prepares_recorded += 1
                 self.total_prepares += 1
+                self._m_prepares.inc()
+                if self._trace.enabled:
+                    self._trace.record(
+                        self.sim.now, "protocol", "prepare",
+                        actor=self.name, loop=loop.name,
+                        iteration=loop.protocols[vertex_id].iteration)
                 cost += self.config.control_cost
             elif isinstance(action, SendAck):
                 owner = self.partition.owner(action.producer)
                 self.transport.send(owner, Acknowledge(
                     loop.name, vertex_id, action.producer,
                     action.iteration), tag=loop.name)
+                self._m_acks.inc()
+                if self._trace.enabled:
+                    self._trace.record(self.sim.now, "protocol", "ack",
+                                       actor=self.name, loop=loop.name,
+                                       iteration=action.iteration)
                 cost += self.config.control_cost
             elif isinstance(action, CommitUpdate):
                 cost += self._commit(loop, vertex_id, action.iteration)
@@ -376,6 +409,11 @@ class Processor(Actor):
         loop.counter(iteration)[0] += 1
         loop.commits_total += 1
         self.total_commits += 1
+        self._m_commits.inc()
+        if self._trace.enabled:
+            self._trace.record(self.sim.now, "protocol", "commit",
+                               actor=self.name, loop=loop.name,
+                               iteration=iteration)
         if loop.is_main:
             loop.changed_since_fork.add(vertex_id)
             loop.recent_commit_counts[vertex_id] = (
@@ -408,12 +446,17 @@ class Processor(Actor):
             return self.config.control_cost
         loop.frontier = msg.iteration + 1
         loop.prune_counters()
+        if self._trace.enabled:
+            self._trace.record(self.sim.now, "progress", "frontier",
+                               actor=self.name, loop=loop.name,
+                               frontier=loop.frontier)
         blocked_at = loop.frontier + self.config.delay_bound - 1
         while (loop.buffered_updates
                and loop.buffered_updates[0][0] < blocked_at):
             _iteration, _seq, update = heapq.heappop(loop.buffered_updates)
             # Requeue through the inbox so each release pays message cost.
             self.deliver(update, self.name)
+        self._g_delay_buffer.set(len(loop.buffered_updates))
         # The frontier advance may unlock the delay-bound fast path.
         cost = self.config.control_cost
         for vertex_id, protocol in list(loop.protocols.items()):
@@ -617,6 +660,10 @@ class Processor(Actor):
             total_pending += loop.pending_flush
             loop.pending_flush = 0
         self._flush_in_flight = True
+        self._m_flushes.inc()
+        if self._trace.enabled:
+            self._trace.record(self.sim.now, "storage", "flush",
+                               actor=self.name, versions=total_pending)
         self.backend.flush(total_pending, self._send_reports, snapshots)
 
     def _send_reports(self, snapshots: list[ProgressReport]) -> None:

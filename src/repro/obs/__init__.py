@@ -1,0 +1,29 @@
+"""Observability: deterministic flight recorder and metrics registry.
+
+``repro.obs`` is the shared instrumentation layer.  A
+:class:`TraceRecorder` (typed, bounded ring buffer of events stamped with
+virtual time) and a :class:`MetricsRegistry` (named counters, gauges and
+histograms) are injected through :class:`repro.simulator.Simulator`, so
+the kernel, the network, the Storm layer and the Tornado runtime all
+publish into one sink.  Tracing is zero-cost when disabled and
+byte-for-byte deterministic when enabled: the same seed produces an
+identical trace, which makes the recorder double as a regression oracle.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.report import (phase_counts, render_phase_table,
+                              termination_timeline)
+from repro.obs.trace import TraceEvent, TraceRecorder, merge_dumps
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "TraceRecorder",
+    "merge_dumps",
+    "phase_counts",
+    "render_phase_table",
+    "termination_timeline",
+]

@@ -1,0 +1,59 @@
+"""Measure the flight recorder's overhead.
+
+Runs the same seeded SSSP workload twice — tracing off, then on — and
+reports wall-clock times, the event volume recorded and the trace digest.
+The "off" run is the number that matters for production: it should sit
+within noise of a build that predates the recorder, because every hot
+path guards its instrumentation behind one ``trace.enabled`` check.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs            # default small run
+    PYTHONPATH=src python -m repro.obs --duration 2.0
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def _run_once(trace_enabled: bool, duration: float) -> tuple[float, object]:
+    from repro.bench.workloads import SMALL, sssp_bundle
+    bundle = sssp_bundle(SMALL, trace_enabled=trace_enabled)
+    bundle.feed_all()
+    started = time.perf_counter()
+    bundle.job.run_for(duration)
+    elapsed = time.perf_counter() - started
+    return elapsed, bundle.job
+
+
+def main(argv: list[str]) -> int:
+    duration = 1.0
+    if "--duration" in argv:
+        try:
+            duration = float(argv[argv.index("--duration") + 1])
+        except (IndexError, ValueError):
+            print("error: --duration requires a number of virtual seconds",
+                  file=sys.stderr)
+            return 2
+    if duration <= 0.0:
+        print("error: --duration must be positive", file=sys.stderr)
+        return 2
+    baseline, _ = _run_once(False, duration)
+    traced, job = _run_once(True, duration)
+    overhead = (traced - baseline) / baseline * 100.0 if baseline else 0.0
+    print(f"workload: sssp/SMALL, {duration:.2f} virtual seconds")
+    print(f"tracing off: {baseline:.3f}s wall")
+    print(f"tracing on:  {traced:.3f}s wall "
+          f"({overhead:+.1f}% vs off)")
+    print(f"events recorded: {job.trace.recorded} "
+          f"(retained {len(job.trace)}, evicted {job.trace.evicted})")
+    print(f"trace digest: {job.trace.digest()}")
+    print("metrics snapshot:")
+    print(job.metrics.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -13,7 +13,7 @@ from repro.simulator.disk import SimulatedDisk
 from repro.simulator.events import Event, EventQueue
 from repro.simulator.failures import FailureInjector, FailureLog
 from repro.simulator.kernel import Simulator
-from repro.simulator.network import Network, NetworkStats
+from repro.simulator.network import LinkStats, Network, NetworkStats
 from repro.simulator.randomness import RandomStreams
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "EventQueue",
     "FailureInjector",
     "FailureLog",
+    "LinkStats",
     "Network",
     "NetworkStats",
     "RandomStreams",

@@ -11,11 +11,19 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs import MetricsRegistry, TraceRecorder
 from repro.simulator.events import Event, EventQueue
 from repro.simulator.randomness import RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulator.actors import Actor
+
+
+def _callback_label(callback: Callable[..., Any]) -> str:
+    """Deterministic label for a scheduled callback (never ``repr``, which
+    embeds memory addresses)."""
+    label = getattr(callback, "__qualname__", None)
+    return label if label is not None else type(callback).__name__
 
 
 class Simulator:
@@ -25,15 +33,26 @@ class Simulator:
     ----------
     seed:
         Root seed for all named random streams.
+    recorder:
+        Flight recorder shared by every layer running on this simulator.
+        Defaults to a disabled recorder, so tracing is opt-in and costs
+        one boolean check per guarded site when off.
+    metrics:
+        Shared metrics registry (always on; instruments are cheap).
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0,
+                 recorder: TraceRecorder | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self._now = 0.0
         self._queue = EventQueue()
         self.random = RandomStreams(seed)
         self.actors: dict[str, "Actor"] = {}
         self._events_processed = 0
         self._stopped = False
+        self.trace = (recorder if recorder is not None
+                      else TraceRecorder(enabled=False))
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # ------------------------------------------------------------------ time
     @property
@@ -97,6 +116,10 @@ class Simulator:
             self._now = event.time
             self._events_processed += 1
             budget -= 1
+            if self.trace.enabled:
+                self.trace.record(self._now, "kernel", "dispatch",
+                                  callback=_callback_label(event.callback),
+                                  depth=len(self._queue))
             event.callback(*event.args)
         return self._now
 
@@ -118,6 +141,10 @@ class Simulator:
             self._now = event.time
             self._events_processed += 1
             budget -= 1
+            if self.trace.enabled:
+                self.trace.record(self._now, "kernel", "dispatch",
+                                  callback=_callback_label(event.callback),
+                                  depth=len(self._queue))
             event.callback(*event.args)
         raise SimulationError(f"predicate not reached in {max_events} events")
 

@@ -16,6 +16,17 @@ from repro.simulator.kernel import Simulator
 
 
 @dataclass
+class LinkStats:
+    """Per-(src, dst) traffic accounting, kept only while the flight
+    recorder is enabled (per-link cardinality is too high to pay for
+    unconditionally)."""
+
+    sent: int = 0
+    dropped: int = 0
+    bytes: int = 0
+
+
+@dataclass
 class NetworkStats:
     """Aggregate traffic counters plus a per-bucket time series used for
     messages-per-second measurements."""
@@ -88,6 +99,18 @@ class Network:
         self._next_free = 0.0
         self._placement: dict[str, str] = {}
         self._blocked: set[tuple[str, str]] = set()
+        #: Per-link accounting, populated only while tracing is enabled.
+        self.link_stats: dict[tuple[str, str], LinkStats] = {}
+        #: Optional ``message -> size in bytes`` estimator for per-link
+        #: byte accounting (left unset, bytes stay 0: sizing arbitrary
+        #: payloads is workload knowledge the fabric does not have).
+        self.size_of: Any = None
+
+    def _link(self, src: str, dst: str) -> LinkStats:
+        link = self.link_stats.get((src, dst))
+        if link is None:
+            link = self.link_stats[(src, dst)] = LinkStats()
+        return link
 
     # ------------------------------------------------------------ placement
     def colocate(self, actor_name: str, node: str) -> None:
@@ -103,9 +126,15 @@ class Network:
     def block(self, src: str, dst: str) -> None:
         """Drop all messages from ``src`` to ``dst`` (network partition)."""
         self._blocked.add((src, dst))
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "net", "block",
+                                  actor=src, dst=dst)
 
     def unblock(self, src: str, dst: str) -> None:
         self._blocked.discard((src, dst))
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "net", "unblock",
+                                  actor=src, dst=dst)
 
     # ------------------------------------------------------------- sending
     def send(self, src: str, dst: str, message: Any) -> None:
@@ -114,8 +143,17 @@ class Network:
         on a real network."""
         now = self.sim.now
         self.stats.record_sent(now)
+        if self.sim.trace.enabled:
+            link = self._link(src, dst)
+            link.sent += 1
+            if self.size_of is not None:
+                link.bytes += int(self.size_of(message))
         if (src, dst) in self._blocked:
             self.stats.dropped += 1
+            if self.sim.trace.enabled:
+                self._link(src, dst).dropped += 1
+                self.sim.trace.record(now, "net", "drop", actor=src,
+                                      dst=dst, reason="partition")
             return
         if self._is_local(src, dst):
             delay = self.local_latency
@@ -136,6 +174,10 @@ class Network:
         actor = self.sim.actors.get(dst)
         if actor is None or actor.down:
             self.stats.dropped += 1
+            if self.sim.trace.enabled:
+                self._link(src, dst).dropped += 1
+                self.sim.trace.record(self.sim.now, "net", "drop",
+                                      actor=src, dst=dst, reason="down")
             return
         self.stats.delivered += 1
         actor.deliver(message, src)

@@ -6,6 +6,19 @@ out.  The checksum hits zero exactly when every tuple in the tree has been
 both emitted and acked, at which point the spout is told the tree completed.
 Trees that do not complete within the timeout are failed back to the spout,
 which triggers replay (at-least-once delivery).
+
+Two robustness details:
+
+* Timeout events are cancelled when their tree finishes.  Leaving them to
+  fire as no-ops would keep one dead heap entry per completed tuple alive
+  for ``tuple_timeout`` virtual seconds — unbounded heap growth under
+  sustained load.
+* An ``ACK_VAL`` arriving *before* its ``ACK_INIT`` (reordered delivery,
+  e.g. when spout and acker sit on different nodes with jitter) is not
+  dropped: its value is buffered and XOR-folded into the tree when the
+  init arrives.  Dropping it could only be repaired by a spurious timeout
+  replay.  Buffered values expire after ``tuple_timeout`` so an init that
+  never comes cannot leak memory.
 """
 
 from __future__ import annotations
@@ -13,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.simulator import Actor, Network, Simulator
+from repro.simulator import Actor, Event, Network, Simulator
 
 ACK_INIT = "ack_init"
 ACK_VAL = "ack_val"
@@ -28,6 +41,7 @@ class _PendingTree:
     message_id: Any
     checksum: int
     started_at: float
+    timeout_event: Event
 
 
 class Acker(Actor):
@@ -42,17 +56,39 @@ class Acker(Actor):
         self.tuple_timeout = tuple_timeout
         self.ack_cost = ack_cost
         self._pending: dict[int, _PendingTree] = {}
+        # Pre-init ack values: root id -> (XOR of values, expiry event).
+        self._early_vals: dict[int, tuple[int, Event]] = {}
         self.completed = 0
         self.failed = 0
+        self.early_vals_buffered = 0
+        self._m_done = sim.metrics.counter("storm.trees_done")
+        self._m_failed = sim.metrics.counter("storm.trees_failed")
+        self._m_early = sim.metrics.counter("storm.early_ack_vals")
+        self._h_latency = sim.metrics.histogram("storm.tree_latency_s")
 
     def handle(self, message: tuple, sender: str) -> float:
         kind = message[0]
         if kind == ACK_INIT:
             _, root_id, spout_task, message_id = message
-            self._pending[root_id] = _PendingTree(
-                spout_task, message_id, root_id, self.sim.now)
-            self.sim.schedule(self.tuple_timeout, self._check_timeout,
-                              root_id, self.sim.now)
+            stale = self._pending.pop(root_id, None)
+            if stale is not None:
+                stale.timeout_event.cancel()
+            timeout_event = self.sim.schedule(
+                self.tuple_timeout, self._check_timeout, root_id,
+                self.sim.now)
+            tree = _PendingTree(spout_task, message_id, root_id,
+                                self.sim.now, timeout_event)
+            self._pending[root_id] = tree
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, "storm", "ack_init",
+                                      actor=self.name, root=root_id)
+            early = self._early_vals.pop(root_id, None)
+            if early is not None:
+                value, expiry = early
+                expiry.cancel()
+                tree.checksum ^= value
+                if tree.checksum == 0:
+                    self._finish(root_id, TREE_DONE)
         elif kind == ACK_VAL:
             _, root_id, value = message
             tree = self._pending.get(root_id)
@@ -60,18 +96,48 @@ class Acker(Actor):
                 tree.checksum ^= value
                 if tree.checksum == 0:
                     self._finish(root_id, TREE_DONE)
+            else:
+                self._buffer_early_val(root_id, value)
         elif kind == ACK_FAIL:
             _, root_id = message
             if root_id in self._pending:
                 self._finish(root_id, TREE_FAILED)
         return self.ack_cost
 
+    def _buffer_early_val(self, root_id: int, value: int) -> None:
+        """An ack value raced ahead of its ``ACK_INIT``: hold its XOR until
+        the init arrives (or ``tuple_timeout`` passes)."""
+        self.early_vals_buffered += 1
+        self._m_early.inc()
+        held = self._early_vals.get(root_id)
+        if held is not None:
+            self._early_vals[root_id] = (held[0] ^ value, held[1])
+            return
+        expiry = self.sim.schedule(self.tuple_timeout,
+                                   self._expire_early_val, root_id)
+        self._early_vals[root_id] = (value, expiry)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "storm", "early_ack_val",
+                                  actor=self.name, root=root_id)
+
+    def _expire_early_val(self, root_id: int) -> None:
+        self._early_vals.pop(root_id, None)
+
     def _finish(self, root_id: int, outcome: str) -> None:
         tree = self._pending.pop(root_id)
+        tree.timeout_event.cancel()
+        latency = self.sim.now - tree.started_at
+        self._h_latency.observe(latency)
         if outcome == TREE_DONE:
             self.completed += 1
+            self._m_done.inc()
         else:
             self.failed += 1
+            self._m_failed.inc()
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "storm", outcome,
+                                  actor=self.name, root=root_id,
+                                  latency=latency)
         self.network.send(self.name, tree.spout_task,
                           (outcome, tree.message_id))
 
@@ -83,3 +149,7 @@ class Acker(Actor):
     @property
     def pending_trees(self) -> int:
         return len(self._pending)
+
+    @property
+    def buffered_early_roots(self) -> int:
+        return len(self._early_vals)

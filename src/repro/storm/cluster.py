@@ -266,6 +266,10 @@ class LocalCluster:
     def _restart(self, name: str) -> None:
         executor = self.executors[name]
         if executor.down:
+            self.sim.metrics.counter("storm.task_restarts").inc()
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, "storm", "restart",
+                                      actor=name)
             executor.recover()
 
     # -------------------------------------------------------------- stats

@@ -1,7 +1,5 @@
 """Unit tests for the experiment harness utilities."""
 
-import pytest
-
 from repro.bench.harness import (ExperimentResult, ShapeCheck, flattens,
                                  monotone_decreasing, percentile)
 

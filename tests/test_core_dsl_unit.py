@@ -3,8 +3,8 @@ program through a bare VertexContext."""
 
 import math
 
-from repro.core.dsl import (AlgebraicProgram, min_label, reachability,
-                            shortest_paths, widest_path)
+from repro.core.dsl import (min_label, reachability, shortest_paths,
+                            widest_path)
 from repro.core.vertex import Delta, VertexContext, VertexState
 from repro.streams.model import ADD_EDGE, REMOVE_EDGE
 

@@ -3,8 +3,6 @@ simulated cluster, exact results checked against Dijkstra."""
 
 import math
 
-import pytest
-
 from repro.algorithms.graph_common import EdgeStreamRouter
 from repro.algorithms.sssp import SSSPProgram, reference_sssp
 from repro.core import Application, TornadoConfig, TornadoJob

@@ -1,6 +1,5 @@
 """Smoke tests: every bundled example runs to completion."""
 
-import runpy
 import subprocess
 import sys
 from pathlib import Path

@@ -1,8 +1,6 @@
 """Integration tests for the Storm layer: topologies running on the DES,
 acking/replay, supervision."""
 
-import pytest
-
 from repro.simulator import FailureInjector, Network, Simulator
 from repro.storm import (Bolt, ClusterConfig, LocalCluster, Spout,
                          TopologyBuilder)
