@@ -6,6 +6,8 @@ Usage::
     python -m repro.bench --medium        # larger scale (slower)
     python -m repro.bench fig5 table2     # a subset
     python -m repro.bench --trace fig8c   # record + print protocol phases
+    python -m repro.bench perf --quick    # wall-clock kernel benchmarks
+                                          # (writes BENCH_perf.json)
 """
 
 from __future__ import annotations
@@ -18,12 +20,12 @@ from repro.bench import (MEDIUM, SMALL, run_ablation_activation,
                          run_ablation_sampling, run_ablation_storage,
                          run_failure_figure, run_fig5, run_fig6a,
                          run_fig6b, run_fig7a, run_fig7b, run_fig8a,
-                         run_fig8b, run_fig9, run_table1, run_table2,
-                         run_table3)
+                         run_fig8b, run_fig9, run_perf, run_table1,
+                         run_table2, run_table3)
 from repro.bench.harness import ExperimentResult
 
 
-def _experiments(scale, trace: bool = False
+def _experiments(scale, trace: bool = False, quick: bool = False
                  ) -> dict[str, Callable[[], ExperimentResult]]:
     return {
         "table1": lambda: run_table1(scale),
@@ -45,14 +47,21 @@ def _experiments(scale, trace: bool = False
         "ablation-activation": lambda: run_ablation_activation(scale),
         "ablation-sampling": lambda: run_ablation_sampling(scale),
         "ablation-storage": lambda: run_ablation_storage(scale),
+        # Wall-clock kernel benchmarks; writes BENCH_perf.json.  Only
+        # runs when asked for by name (see main below): unlike the rest
+        # it measures the host machine, not the simulated cluster.
+        "perf": lambda: run_perf(quick=quick),
     }
 
 
 def main(argv: list[str]) -> int:
     scale = MEDIUM if "--medium" in argv else SMALL
     trace = "--trace" in argv
+    quick = "--quick" in argv
     wanted = [a for a in argv if not a.startswith("-")]
-    experiments = _experiments(scale, trace=trace)
+    experiments = _experiments(scale, trace=trace, quick=quick)
+    if not wanted:
+        experiments.pop("perf")
     if wanted:
         unknown = [w for w in wanted
                    if not any(k.startswith(w) for k in experiments)]

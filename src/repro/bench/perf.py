@@ -1,0 +1,349 @@
+"""Wall-clock kernel benchmarks: the repo's perf trajectory.
+
+Unlike every other bench module, which measures *virtual* time on the
+simulated cluster, this one measures *wall-clock* events per second of
+the kernel itself, A/B-ing the fast path (timer wheel + tombstone
+compaction + same-instant coalescing) against the legacy heap-only
+kernel (``fast_path=False``), which reproduces the pre-fast-path
+implementation event for event.
+
+Scenarios:
+
+* ``timer_churn`` — the dominant event class in real workloads: timers
+  scheduled and then almost always cancelled (retransmits, acker
+  timeouts).  Exercises the timer wheel's O(1) schedule/true-cancel
+  against heap tombstones.
+* ``cancel_churn`` — the same churn through plain :meth:`schedule`,
+  isolating tombstone compaction in the event heap.
+* ``coalesce_burst`` — same-instant message bursts through the network
+  fabric, isolating delivery coalescing.
+* ``fig8d_small`` — a shrunk Fig. 8d run (SSSP branch fork with a
+  mid-run processor failure): end-to-end speedup on a real protocol
+  workload.
+* ``fig9b_small`` — a shrunk Fig. 9b run (SSSP under a fabric capacity
+  ceiling): end-to-end speedup on the throughput workload.
+
+The harness also re-checks the determinism oracle (same seed ⇒ byte
+identical flight-recorder trace, fast vs legacy) and writes everything
+to ``BENCH_perf.json`` so CI can compare runs over time::
+
+    python -m repro.bench perf [--quick]      # run + write BENCH_perf.json
+    python -m repro.bench.perf --compare BASELINE.json CURRENT.json
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from collections import deque
+from dataclasses import replace
+from typing import Any, Callable
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.workloads import SMALL, Scale, sssp_bundle
+from repro.simulator import Actor, Network, Simulator
+
+#: Shrunk Fig. 8d scale (same shape as tests/test_obs_determinism.py).
+TINY = replace(SMALL, n_vertices=80, n_edges=320, stream_rate=4000.0)
+FIG8D_FULL = replace(SMALL, n_vertices=160, n_edges=800,
+                     stream_rate=4000.0)
+FIG9B_NET_CAPACITY = 150_000.0
+
+
+def _noop() -> None:
+    pass
+
+
+# ------------------------------------------------------------- scenarios
+def _timer_churn(fast_path: bool, steps: int, fanout: int = 8,
+                 horizon: float = 0.5, step_gap: float = 1e-5) -> Simulator:
+    """Schedule ``fanout`` fixed-delay timers per step and cancel them two
+    steps later — the retransmit/acker pattern.  On the heap each cancel
+    leaves a tombstone alive for ``horizon`` virtual seconds, so the heap
+    carries ~``fanout * horizon / step_gap`` dead entries at steady state;
+    the wheel removes them in O(1)."""
+    sim = Simulator(seed=1, fast_path=fast_path)
+    window: deque[list] = deque()
+    state = {"left": steps}
+
+    def step() -> None:
+        window.append([sim.schedule_timer(horizon, _noop)
+                       for _ in range(fanout)])
+        if len(window) > 2:
+            for timer in window.popleft():
+                timer.cancel()
+        state["left"] -= 1
+        if state["left"] > 0:
+            sim.schedule(step_gap, step)
+
+    sim.schedule(0.0, step)
+    sim.run()
+    return sim
+
+
+def _cancel_churn(fast_path: bool, steps: int, fanout: int = 8,
+                  horizon: float = 0.5, step_gap: float = 1e-5) -> Simulator:
+    """Same churn through plain ``schedule`` — both modes keep the events
+    on the heap, so any win comes from tombstone compaction alone."""
+    sim = Simulator(seed=1, fast_path=fast_path)
+    window: deque[list] = deque()
+    state = {"left": steps}
+
+    def step() -> None:
+        window.append([sim.schedule(horizon, _noop)
+                       for _ in range(fanout)])
+        if len(window) > 2:
+            for event in window.popleft():
+                event.cancel()
+        state["left"] -= 1
+        if state["left"] > 0:
+            sim.schedule(step_gap, step)
+
+    sim.schedule(0.0, step)
+    sim.run()
+    return sim
+
+
+class _Sink(Actor):
+    def handle(self, message: Any, sender: str) -> float:
+        return 0.0
+
+
+def _coalesce_burst(fast_path: bool, bursts: int,
+                    fanout: int = 64) -> Simulator:
+    """Bursts of same-instant sends on one link: the fast path folds each
+    burst's deliveries into a single heap entry."""
+    sim = Simulator(seed=1, fast_path=fast_path)
+    network = Network(sim, latency=5e-4)
+    _Sink(sim, "src")
+    _Sink(sim, "sink")
+    state = {"left": bursts}
+
+    def burst() -> None:
+        for index in range(fanout):
+            network.send("src", "sink", index)
+        state["left"] -= 1
+        if state["left"] > 0:
+            sim.schedule(1e-3, burst)
+
+    sim.schedule(0.0, burst)
+    sim.run()
+    return sim
+
+
+def _fig8d_config(fast_path: bool, trace: bool = False) -> dict[str, Any]:
+    return dict(delay_bound=256, main_loop_mode="batch",
+                merge_policy="never", report_interval=0.01,
+                gather_cost=1e-3, seed=7, fast_path=fast_path,
+                trace_enabled=trace)
+
+
+def _fig8d_run(fast_path: bool, scale: Scale,
+               trace: bool = False):
+    """One shrunk Fig. 8d run; returns the job after convergence.  The
+    workload build (datagen) happens inside, so callers time only the
+    returned closure's ``run`` part via :func:`_timed`."""
+    bundle = sssp_bundle(scale, **_fig8d_config(fast_path, trace=trace))
+    job = bundle.job
+
+    def run() -> Simulator:
+        job.feed(bundle.stream)
+        cutoff = len(bundle.stream) // 2
+        job.run_until(lambda: job.ingester.tuples_ingested >= cutoff)
+        query_id = job.query(full_activation=True)
+        job.failures.kill_at(job.sim.now + 0.05, "proc-1",
+                             recover_after=0.3)
+        job.run_until(lambda: job.ingester.query_done(query_id))
+        return job.sim
+
+    return job, run
+
+
+def _fig9b_run(fast_path: bool, scale: Scale):
+    """One shrunk Fig. 9b point: SSSP under the fabric capacity ceiling,
+    run to quiescence."""
+    fast_scale = Scale(**{**scale.__dict__, "stream_rate": 1e5})
+    bundle = sssp_bundle(fast_scale, n_processors=8, n_nodes=4,
+                         net_capacity=FIG9B_NET_CAPACITY,
+                         report_interval=0.02, fast_path=fast_path)
+    job = bundle.job
+
+    def run() -> Simulator:
+        job.feed(bundle.stream)
+        total = len(bundle.stream)
+        job.run_until(lambda: job.ingester.tuples_ingested >= total)
+        job.run_until(lambda: job.quiescent(), max_events=100_000_000)
+        return job.sim
+
+    return job, run
+
+
+# ------------------------------------------------------------ measurement
+def _timed(runner: Callable[[], Simulator]) -> dict[str, float]:
+    started = time.perf_counter()
+    sim = runner()
+    wall = time.perf_counter() - started
+    events = sim.events_processed
+    return {"events": events, "wall_s": wall,
+            "events_per_s": events / wall if wall > 0 else 0.0}
+
+
+def _ab(name: str, make: Callable[[bool], Callable[[], Simulator]],
+        repeats: int = 1) -> dict[str, Any]:
+    """A/B one scenario.  Runs alternate legacy/fast to decorrelate
+    machine drift; each side reports its best run (wall-clock noise is
+    one-sided: interference only ever slows a run down)."""
+    legacy_runs = []
+    fast_runs = []
+    for _ in range(repeats):
+        legacy_runs.append(_timed(make(False)))
+        fast_runs.append(_timed(make(True)))
+    legacy = max(legacy_runs, key=lambda run: run["events_per_s"])
+    fast = max(fast_runs, key=lambda run: run["events_per_s"])
+    speedup = (fast["events_per_s"] / legacy["events_per_s"]
+               if legacy["events_per_s"] else 0.0)
+    return {"name": name, "legacy": legacy, "fast": fast,
+            "speedup": speedup,
+            "events_match": all(
+                run["events"] == legacy["events"]
+                for run in legacy_runs + fast_runs)}
+
+
+def run_perf(quick: bool = False,
+             json_path: str | None = "BENCH_perf.json",
+             *, steps: int | None = None, bursts: int | None = None,
+             fig_scale: Scale | None = None) -> ExperimentResult:
+    """Run every scenario fast-vs-legacy, write ``json_path`` (unless
+    ``None``) and return the usual experiment report.  The keyword
+    overrides shrink individual scenarios below ``--quick`` size; the
+    test suite uses them to check the report shape in about a second."""
+    if steps is None:
+        steps = 20_000 if quick else 60_000
+    if bursts is None:
+        bursts = 1_000 if quick else 4_000
+    fig8d_scale = fig_scale or (TINY if quick else FIG8D_FULL)
+    fig9b_scale = fig_scale or (TINY if quick else SMALL)
+    repeats = 1 if quick else 3
+
+    scenarios = [
+        _ab("timer_churn",
+            lambda fast: (lambda: _timer_churn(fast, steps)),
+            repeats=repeats),
+        _ab("cancel_churn",
+            lambda fast: (lambda: _cancel_churn(fast, steps)),
+            repeats=repeats),
+        _ab("coalesce_burst",
+            lambda fast: (lambda: _coalesce_burst(fast, bursts)),
+            repeats=repeats),
+        _ab("fig8d_small",
+            lambda fast: _fig8d_run(fast, fig8d_scale)[1],
+            repeats=repeats),
+        _ab("fig9b_small",
+            lambda fast: _fig9b_run(fast, fig9b_scale)[1],
+            repeats=repeats),
+    ]
+
+    # Determinism oracle: the fast path must not change a single byte of
+    # the flight-recorder trace.
+    digests = {}
+    for mode, fast in (("legacy", False), ("fast", True)):
+        job, runner = _fig8d_run(fast, fig_scale or TINY, trace=True)
+        runner()
+        digests[mode] = job.trace.digest()
+    identical = digests["legacy"] == digests["fast"]
+
+    result = ExperimentResult(
+        experiment="perf",
+        title="Kernel fast path: wall-clock events/sec, fast vs legacy",
+        columns=["scenario", "events", "legacy_eps", "fast_eps",
+                 "speedup"],
+        notes=("wall-clock, not virtual time; legacy = fast_path=False "
+               "(pre-fast-path kernel)"),
+    )
+    for scenario in scenarios:
+        result.add_row(scenario=scenario["name"],
+                       events=scenario["fast"]["events"],
+                       legacy_eps=scenario["legacy"]["events_per_s"],
+                       fast_eps=scenario["fast"]["events_per_s"],
+                       speedup=scenario["speedup"])
+    churn = next(s for s in scenarios if s["name"] == "timer_churn")
+    result.check("timer churn ≥2x events/sec on the fast path",
+                 churn["speedup"] >= 2.0,
+                 f"speedup={churn['speedup']:.2f}x")
+    result.check("fast and legacy kernels process identical event counts",
+                 all(s["events_match"] for s in scenarios))
+    result.check("same seed ⇒ byte-identical trace (fast vs legacy)",
+                 identical, f"digest={digests['fast'][:16]}…")
+
+    report = {
+        "bench": "kernel_fast_path",
+        "version": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "scenarios": {s["name"]: {k: s[k] for k in
+                                  ("legacy", "fast", "speedup",
+                                   "events_match")}
+                      for s in scenarios},
+        "determinism": {"digests": digests, "identical": identical},
+    }
+    result.extras["report"] = report
+    if json_path is not None:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return result
+
+
+# ------------------------------------------------------------- comparison
+def compare_reports(baseline: dict[str, Any],
+                    current: dict[str, Any]) -> str:
+    """Human-readable comparison of two ``BENCH_perf.json`` payloads
+    (what the CI perf-smoke job prints)."""
+    lines = [f"{'scenario':<16} {'base eps':>12} {'curr eps':>12} "
+             f"{'ratio':>7}  {'base x':>7} {'curr x':>7}"]
+    names = sorted(set(baseline.get("scenarios", {}))
+                   | set(current.get("scenarios", {})))
+    for name in names:
+        base = baseline.get("scenarios", {}).get(name)
+        curr = current.get("scenarios", {}).get(name)
+        if base is None or curr is None:
+            lines.append(f"{name:<16} {'(only in one report)':>12}")
+            continue
+        base_eps = base["fast"]["events_per_s"]
+        curr_eps = curr["fast"]["events_per_s"]
+        ratio = curr_eps / base_eps if base_eps else 0.0
+        lines.append(f"{name:<16} {base_eps:>12.0f} {curr_eps:>12.0f} "
+                     f"{ratio:>6.2f}x  {base['speedup']:>6.2f}x "
+                     f"{curr['speedup']:>6.2f}x")
+    base_det = baseline.get("determinism", {}).get("identical")
+    curr_det = current.get("determinism", {}).get("identical")
+    lines.append(f"determinism identical: baseline={base_det} "
+                 f"current={curr_det}")
+    lines.append("(eps = fast-path events/sec, wall-clock; x = speedup "
+                 "over the legacy kernel. Ratios across machines are "
+                 "indicative only.)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--compare":
+        if len(argv) != 3:
+            print("usage: python -m repro.bench.perf --compare "
+                  "BASELINE.json CURRENT.json")
+            return 2
+        with open(argv[1], encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(argv[2], encoding="utf-8") as handle:
+            current = json.load(handle)
+        print(compare_reports(baseline, current))
+        return 0
+    quick = "--quick" in argv
+    result = run_perf(quick=quick)
+    print(result.report())
+    return 0 if result.all_checks_pass else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main(sys.argv[1:]))

@@ -19,6 +19,13 @@ class TornadoConfig:
     n_nodes: int = 4
     seed: int = 0
 
+    # -------------------------------------------------------------- kernel
+    #: Kernel fast path: timer wheel for fixed-delay timers, tombstone
+    #: compaction in the event heap, same-instant message coalescing.
+    #: ``False`` runs the legacy heap-only kernel — same seed, byte
+    #: identical trace, just slower (kept as the A/B perf baseline).
+    fast_path: bool = True
+
     # ------------------------------------------------------ iteration model
     #: Delay bound B (paper §4.4).  1 = synchronous; large = asynchronous.
     delay_bound: int = 65536

@@ -58,7 +58,8 @@ class TornadoJob:
         self.sim = Simulator(
             seed=self.config.seed,
             recorder=TraceRecorder(capacity=self.config.trace_capacity,
-                                   enabled=self.config.trace_enabled))
+                                   enabled=self.config.trace_enabled),
+            fast_path=self.config.fast_path)
         self.network = Network(
             self.sim,
             latency=self.config.net_latency,

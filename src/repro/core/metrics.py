@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.simulator import Event, Simulator
+from repro.simulator import Scheduled, Simulator
 
 
 @dataclass
@@ -44,7 +44,7 @@ class RateSampler:
         # flipping _running would leave the stale tick in the queue: a
         # start() before it fires would then run two live tick chains,
         # duplicating and offsetting samples.
-        self._pending: Event | None = None
+        self._pending: Scheduled | None = None
         if start:
             self.start()
 
@@ -52,7 +52,8 @@ class RateSampler:
         if not self._running:
             self._running = True
             self._previous = float(self.counter())
-            self._pending = self.sim.schedule(self.interval, self._tick)
+            self._pending = self.sim.schedule_timer(self.interval,
+                                                    self._tick)
 
     def stop(self) -> None:
         self._running = False
@@ -71,7 +72,7 @@ class RateSampler:
             total=current,
         ))
         self._previous = current
-        self._pending = self.sim.schedule(self.interval, self._tick)
+        self._pending = self.sim.schedule_timer(self.interval, self._tick)
 
     # ------------------------------------------------------------ queries
     def rates(self) -> list[tuple[float, float]]:

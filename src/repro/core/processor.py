@@ -126,7 +126,8 @@ class Processor(Actor):
     # ----------------------------------------------------------- lifecycle
     def start(self) -> None:
         self._report_timer_running = True
-        self.sim.schedule(self.config.report_interval, self._report_tick)
+        self.sim.schedule_timer(self.config.report_interval,
+                                self._report_tick)
 
     # ------------------------------------------------------------ dispatch
     def classify(self, message: Any) -> int:
@@ -621,7 +622,8 @@ class Processor(Actor):
         if not self._report_timer_running or self.down:
             return
         self._flush_then_report()
-        self.sim.schedule(self.config.report_interval, self._report_tick)
+        self.sim.schedule_timer(self.config.report_interval,
+                                self._report_tick)
 
     def on_idle(self) -> None:
         if (not self.down and not self._flush_in_flight

@@ -53,7 +53,9 @@ class ReliableEndpoint:
             self.pending_by_tag[tag] = self.pending_by_tag.get(tag, 0) + 1
         self.sent_reliable += 1
         self.network.send(self.owner, dst, Envelope(msg_id, payload))
-        self._timers[msg_id] = self.sim.schedule(
+        # Retransmit timers are almost always cancelled by the ack, so
+        # they live on the timer wheel: O(1) schedule, true removal.
+        self._timers[msg_id] = self.sim.schedule_timer(
             self.timeout, self._retransmit, msg_id)
 
     def send_unreliable(self, dst: str, payload: Any) -> None:
@@ -66,7 +68,7 @@ class ReliableEndpoint:
         dst, payload = entry
         self.retransmissions += 1
         self.network.send(self.owner, dst, Envelope(msg_id, payload))
-        self._timers[msg_id] = self.sim.schedule(
+        self._timers[msg_id] = self.sim.schedule_timer(
             self.timeout, self._retransmit, msg_id)
 
     # ----------------------------------------------------------- receiving
@@ -83,8 +85,14 @@ class ReliableEndpoint:
                 timer.cancel()
             tag = self._tags.pop(message.msg_id, None)
             if tag is not None:
-                self.pending_by_tag[tag] = max(
-                    0, self.pending_by_tag.get(tag, 0) - 1)
+                remaining = self.pending_by_tag.get(tag, 0) - 1
+                if remaining > 0:
+                    self.pending_by_tag[tag] = remaining
+                else:
+                    # Drop the key outright: long runs cycle through many
+                    # tags (one per branch loop) and keeping zero entries
+                    # grows the dict unboundedly.
+                    self.pending_by_tag.pop(tag, None)
             return None
         if isinstance(message, Unreliable):
             return message.payload

@@ -12,9 +12,10 @@ from repro.simulator.actors import Actor
 from repro.simulator.disk import SimulatedDisk
 from repro.simulator.events import Event, EventQueue
 from repro.simulator.failures import FailureInjector, FailureLog
-from repro.simulator.kernel import Simulator
+from repro.simulator.kernel import Scheduled, Simulator
 from repro.simulator.network import LinkStats, Network, NetworkStats
 from repro.simulator.randomness import RandomStreams
+from repro.simulator.timers import Timer, TimerWheel
 
 __all__ = [
     "Actor",
@@ -26,6 +27,9 @@ __all__ = [
     "Network",
     "NetworkStats",
     "RandomStreams",
+    "Scheduled",
     "SimulatedDisk",
     "Simulator",
+    "Timer",
+    "TimerWheel",
 ]

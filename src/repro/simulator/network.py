@@ -41,8 +41,8 @@ class NetworkStats:
 
     def record_sent(self, time: float) -> None:
         self.sent += 1
-        self.buckets[int(time // self.bucket_width)] = (
-            self.buckets.get(int(time // self.bucket_width), 0) + 1)
+        bucket = int(time // self.bucket_width)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
 
     def record_remote(self, time: float) -> None:
         self.remote_sent += 1
@@ -168,7 +168,10 @@ class Network:
                 delay += depart - now
         if not math.isfinite(delay):
             delay = self.latency
-        self.sim.schedule(delay, self._deliver, dst, message, src)
+        # Delivery events are never cancelled, so a same-instant burst on
+        # the fast path coalesces into one heap entry (the kernel expands
+        # it in send order; capacity above was still charged per message).
+        self.sim.schedule_message(delay, self._deliver, dst, message, src)
 
     def _deliver(self, dst: str, message: Any, src: str) -> None:
         actor = self.sim.actors.get(dst)

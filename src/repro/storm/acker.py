@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.simulator import Actor, Event, Network, Simulator
+from repro.simulator import Actor, Network, Scheduled, Simulator
 
 ACK_INIT = "ack_init"
 ACK_VAL = "ack_val"
@@ -41,7 +41,7 @@ class _PendingTree:
     message_id: Any
     checksum: int
     started_at: float
-    timeout_event: Event
+    timeout_event: Scheduled
 
 
 class Acker(Actor):
@@ -57,7 +57,7 @@ class Acker(Actor):
         self.ack_cost = ack_cost
         self._pending: dict[int, _PendingTree] = {}
         # Pre-init ack values: root id -> (XOR of values, expiry event).
-        self._early_vals: dict[int, tuple[int, Event]] = {}
+        self._early_vals: dict[int, tuple[int, Scheduled]] = {}
         self.completed = 0
         self.failed = 0
         self.early_vals_buffered = 0
@@ -73,7 +73,9 @@ class Acker(Actor):
             stale = self._pending.pop(root_id, None)
             if stale is not None:
                 stale.timeout_event.cancel()
-            timeout_event = self.sim.schedule(
+            # Tuple timeouts are cancelled whenever a tree completes, so
+            # they ride the timer wheel (true removal, no tombstones).
+            timeout_event = self.sim.schedule_timer(
                 self.tuple_timeout, self._check_timeout, root_id,
                 self.sim.now)
             tree = _PendingTree(spout_task, message_id, root_id,
@@ -113,8 +115,8 @@ class Acker(Actor):
         if held is not None:
             self._early_vals[root_id] = (held[0] ^ value, held[1])
             return
-        expiry = self.sim.schedule(self.tuple_timeout,
-                                   self._expire_early_val, root_id)
+        expiry = self.sim.schedule_timer(self.tuple_timeout,
+                                         self._expire_early_val, root_id)
         self._early_vals[root_id] = (value, expiry)
         if self.sim.trace.enabled:
             self.sim.trace.record(self.sim.now, "storm", "early_ack_val",

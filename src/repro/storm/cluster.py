@@ -108,8 +108,8 @@ class _SpoutExecutor(Actor):
             if emitted:
                 self.deliver(self.POLL, self.name)
                 return self.config.spout_emit_cost
-            self.sim.schedule(self.config.spout_poll_interval,
-                              self.deliver, self.POLL, self.name)
+            self.sim.schedule_timer(self.config.spout_poll_interval,
+                                    self.deliver, self.POLL, self.name)
             return 0.0
         kind, message_id = message
         if kind == ack_msgs.TREE_DONE:
@@ -188,9 +188,9 @@ class LocalCluster:
         for spec in topology.components.values():
             if spec.tick_interval is not None:
                 for index in range(spec.parallelism):
-                    self.sim.schedule(spec.tick_interval, self._tick,
-                                      spec.name, index,
-                                      spec.tick_interval)
+                    self.sim.schedule_timer(spec.tick_interval, self._tick,
+                                            spec.name, index,
+                                            spec.tick_interval)
 
     def _tick(self, component: str, index: int, interval: float) -> None:
         executor = self.executors.get(self.task_name(component, index))
@@ -198,7 +198,8 @@ class LocalCluster:
             tick = StormTuple(SYSTEM_COMPONENT, TICK_STREAM, {},
                               self.new_tuple_id())
             executor.deliver(tick, SYSTEM_COMPONENT)
-        self.sim.schedule(interval, self._tick, component, index, interval)
+        self.sim.schedule_timer(interval, self._tick, component, index,
+                                interval)
 
     # ------------------------------------------------------------- routing
     def new_tuple_id(self) -> int:
@@ -255,13 +256,14 @@ class LocalCluster:
         self._supervised = True
         self._heartbeat = heartbeat
         self._restart_delay = restart_delay
-        self.sim.schedule(heartbeat, self._check_heartbeats)
+        self.sim.schedule_timer(heartbeat, self._check_heartbeats)
 
     def _check_heartbeats(self) -> None:
         for name, executor in self.executors.items():
             if executor.down:
-                self.sim.schedule(self._restart_delay, self._restart, name)
-        self.sim.schedule(self._heartbeat, self._check_heartbeats)
+                self.sim.schedule_timer(self._restart_delay, self._restart,
+                                        name)
+        self.sim.schedule_timer(self._heartbeat, self._check_heartbeats)
 
     def _restart(self, name: str) -> None:
         executor = self.executors[name]

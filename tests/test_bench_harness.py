@@ -72,4 +72,5 @@ class TestQuickExperiments:
         experiments = _experiments(SMALL)
         assert "table2" in experiments
         assert "fig5-sssp" in experiments
-        assert len(experiments) == 18
+        assert "perf" in experiments
+        assert len(experiments) == 19

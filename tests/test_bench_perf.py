@@ -1,0 +1,48 @@
+"""Shape tests for the wall-clock perf harness (repro.bench.perf).
+
+Speedups are deliberately not asserted here — CI machines are too noisy
+for that; the committed BENCH_perf.json and the perf-smoke job track
+them instead.  What must hold everywhere: the report schema, identical
+fast/legacy event counts, and the byte-identical determinism oracle.
+"""
+
+import json
+
+from repro.bench.perf import (TINY, compare_reports, run_perf)
+
+
+class TestRunPerf:
+    def test_report_shape_and_determinism(self, tmp_path):
+        json_path = tmp_path / "BENCH_perf.json"
+        result = run_perf(quick=True, json_path=str(json_path),
+                          steps=2_000, bursts=100, fig_scale=TINY)
+        report = json.loads(json_path.read_text(encoding="utf-8"))
+        assert report["bench"] == "kernel_fast_path"
+        assert len(report["scenarios"]) >= 3
+        for name, scenario in report["scenarios"].items():
+            assert scenario["legacy"]["events"] > 0, name
+            assert scenario["fast"]["events_per_s"] > 0, name
+            assert scenario["events_match"], name
+        assert report["determinism"]["identical"]
+        digests = report["determinism"]["digests"]
+        assert digests["fast"] == digests["legacy"]
+        # The in-memory result mirrors the file.
+        assert result.extras["report"] == report
+        rows = {row["scenario"] for row in result.rows}
+        assert {"timer_churn", "cancel_churn", "coalesce_burst"} <= rows
+
+    def test_compare_reports_renders_both_sides(self):
+        scenario = {"legacy": {"events": 10, "wall_s": 1.0,
+                               "events_per_s": 10.0},
+                    "fast": {"events": 10, "wall_s": 0.5,
+                             "events_per_s": 20.0},
+                    "speedup": 2.0, "events_match": True}
+        report = {"scenarios": {"timer_churn": scenario},
+                  "determinism": {"identical": True}}
+        other = {"scenarios": {"timer_churn": scenario,
+                               "extra_only": scenario},
+                 "determinism": {"identical": True}}
+        text = compare_reports(report, other)
+        assert "timer_churn" in text
+        assert "only in one report" in text
+        assert "determinism identical: baseline=True current=True" in text

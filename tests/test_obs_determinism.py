@@ -15,12 +15,13 @@ from repro.obs import phase_counts, render_phase_table
 TINY = replace(SMALL, n_vertices=80, n_edges=320, stream_rate=4000.0)
 
 
-def _fig8d_style_run(seed: int) -> TornadoJob:
+def _fig8d_style_run(seed: int, fast_path: bool = True) -> TornadoJob:
     """One shrunk Fig. 8d run: fork a branch from half the stream, kill
     proc-1 mid-branch, run to convergence."""
     bundle = sssp_bundle(TINY, delay_bound=256, main_loop_mode="batch",
                          merge_policy="never", report_interval=0.01,
-                         gather_cost=1e-3, trace_enabled=True, seed=seed)
+                         gather_cost=1e-3, trace_enabled=True, seed=seed,
+                         fast_path=fast_path)
     job = bundle.job
     job.feed(bundle.stream)
     cutoff = len(bundle.stream) // 2
@@ -39,6 +40,17 @@ class TestTraceDeterminism:
         assert first.trace.recorded == second.trace.recorded
         assert first.trace.dump() == second.trace.dump()
         assert first.trace.digest() == second.trace.digest()
+
+    def test_fast_and_legacy_kernels_produce_identical_traces(self):
+        """The fast path (timer wheel, compaction, coalescing) must not
+        change a single byte of the flight-recorder trace — it only
+        changes how fast the wall clock gets there."""
+        fast = _fig8d_style_run(seed=7, fast_path=True)
+        legacy = _fig8d_style_run(seed=7, fast_path=False)
+        assert fast.trace.dump() == legacy.trace.dump()
+        assert fast.trace.digest() == legacy.trace.digest()
+        assert fast.sim.events_processed == legacy.sim.events_processed
+        assert fast.metrics.snapshot() == legacy.metrics.snapshot()
 
     def test_metrics_are_deterministic_too(self):
         first = _fig8d_style_run(seed=3)
