@@ -1,0 +1,501 @@
+"""The chaos campaign runner (ISSUE tentpole part 3).
+
+A campaign draws N seeded :class:`ChaosSchedule`\\ s per workload, runs
+each against a fig8-style job (SSSP and PageRank on the Tornado core;
+a replaying word-count on the storm substrate), and judges every run
+with the :mod:`repro.chaos.oracles`.  The first schedule of each
+workload is executed twice and its flight-recorder digests compared
+byte-for-byte — the determinism oracle.  A failing schedule is greedily
+shrunk to a minimal reproduction (drop one fault at a time while the
+failure persists) and dumped, along with the failing run's trace, to
+the output directory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.algorithms.graph_common import EdgeStreamRouter
+from repro.algorithms.pagerank import (PageRankProgram, reference_pagerank)
+from repro.algorithms.sssp import SSSPProgram, reference_sssp
+from repro.chaos import oracles
+from repro.chaos.faults import (apply_to_cluster, apply_to_job,
+                                fault_windows)
+from repro.chaos.schedule import (ChaosSchedule, FaultMenu,
+                                  generate_schedule)
+from repro.core import Application, TornadoConfig, TornadoJob
+from repro.core.messages import MAIN_LOOP
+from repro.errors import QueryError, SimulationError
+from repro.obs import TraceRecorder
+from repro.simulator import FailureInjector, Network, Simulator
+from repro.storm import (Bolt, ClusterConfig, LocalCluster, Spout,
+                         TopologyBuilder)
+from repro.streams import UniformRate, edge_stream
+
+#: Virtual seconds during which faults may be active; every schedule is
+#: fully healed by 80% of this.
+HORIZON = 4.0
+#: Mid-chaos query instant (liveness under fire).
+T_MID = 1.5
+#: Probe sampling step while the chaos unfolds.
+SLICE = 0.25
+#: Padding around fault windows excused by the liveness oracle, and the
+#: largest allowed gap between terminations outside those windows.
+LIVENESS_PAD = 1.5
+LIVENESS_GAP = 1.5
+
+
+def ring_chord_graph(n: int = 18) -> list[tuple[str, str]]:
+    """A deterministic ring-plus-chords digraph: small enough for fast
+    runs, meshy enough that every processor owns live vertices."""
+    edges = [(f"v{i}", f"v{(i + 1) % n}") for i in range(n)]
+    edges += [(f"v{i}", f"v{(i * 7 + 3) % n}") for i in range(0, n, 2)]
+    return edges
+
+
+@dataclass
+class ChaosOutcome:
+    """One judged chaos run."""
+
+    workload: str
+    schedule: ChaosSchedule
+    oracles: list[oracles.OracleResult]
+    digest: str
+    trace_dump: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.oracles)
+
+    def failures(self) -> list[oracles.OracleResult]:
+        return [result for result in self.oracles if not result.passed]
+
+
+# ===================================================== tornado workloads
+class TornadoWorkload:
+    """SSSP / PageRank on the Tornado core, fig8 configuration: batch
+    main loop, never-merge branches, full-activation queries."""
+
+    def __init__(self, name: str, job_seed: int = 7,
+                 planted_restart_skew: int = 0) -> None:
+        self.name = name
+        self.job_seed = job_seed
+        self.planted_restart_skew = planted_restart_skew
+        self.edges = ring_chord_graph()
+        self._golden: dict | None = None
+
+    # ------------------------------------------------------ per-workload
+    def application(self) -> Application:
+        raise NotImplementedError
+
+    def reference(self) -> dict:
+        raise NotImplementedError
+
+    def extract(self, values: dict) -> dict:
+        raise NotImplementedError
+
+    #: 0.0 = byte-exact; PageRank overrides with its tolerance band.
+    golden_atol = 0.0
+    reference_atol = 0.0
+    storage_backend = "disk"
+
+    # ------------------------------------------------------------ build
+    def build(self) -> TornadoJob:
+        config = TornadoConfig(
+            seed=self.job_seed,
+            n_processors=3,
+            report_interval=0.01,
+            retransmit_timeout=0.1,
+            storage_backend=self.storage_backend,
+            delay_bound=65536,
+            merge_policy="never",
+            trace_enabled=True,
+            trace_capacity=200_000,
+        )
+        job = TornadoJob(self.application(), config)
+        job.manifest.planted_restart_skew = self.planted_restart_skew
+        job.feed(edge_stream(self.edges, UniformRate(rate=1000.0)))
+        return job
+
+    def menu(self) -> FaultMenu:
+        processors = tuple(f"proc-{i}" for i in range(3))
+        return FaultMenu(
+            kill_targets=processors + (TornadoJob.MASTER,),
+            link_endpoints=processors + (TornadoJob.MASTER,),
+            disks=processors if self.storage_backend == "disk" else (),
+            transport_chaos=True,
+        )
+
+    # ------------------------------------------------------------- runs
+    def golden(self) -> dict:
+        """Fault-free reference values for this job+seed (cached)."""
+        if self._golden is None:
+            outcome = self._execute(ChaosSchedule(seed=0, faults=[]))
+            final = outcome["final"]
+            if final is None:
+                raise SimulationError(
+                    f"golden run of {self.name} did not complete")
+            self._golden = final
+        return self._golden
+
+    def run_chaos(self, schedule: ChaosSchedule) -> ChaosOutcome:
+        run = self._execute(schedule)
+        golden = self.golden()
+        results = [run["probe"].check(),
+                   oracles.manifest_consistency(run["manifest"],
+                                                run["termination_times"]),
+                   oracles.liveness(
+                       run["termination_times"].get(MAIN_LOOP, []),
+                       fault_windows(schedule, pad=LIVENESS_PAD),
+                       completed=run["final"] is not None,
+                       gap_bound=LIVENESS_GAP)]
+        if run["final"] is not None:
+            results.append(oracles.exactness(
+                "exactness-vs-golden", run["final"], golden,
+                atol=self.golden_atol))
+            results.append(oracles.exactness(
+                "exactness-vs-reference", run["final"], self.reference(),
+                atol=self.reference_atol))
+        if run["mid"] is not None:
+            results.append(oracles.exactness(
+                "mid-chaos-exactness", run["mid"], self.reference(),
+                atol=self.reference_atol))
+        outcome = ChaosOutcome(self.name, schedule, results, run["digest"])
+        if not outcome.passed:
+            outcome.trace_dump = run["trace_dump"]
+        return outcome
+
+    def _execute(self, schedule: ChaosSchedule) -> dict:
+        job = self.build()
+        apply_to_job(job, schedule)
+        probe = oracles.FrontierProbe(job.manifest, MAIN_LOOP)
+        mid_query = None
+        while job.sim.now < HORIZON:
+            job.run(until=min(job.sim.now + SLICE, HORIZON))
+            probe.sample(job.sim.now)
+            if mid_query is None and job.sim.now >= T_MID:
+                mid_query = job.query(full_activation=True)
+        mid = final = None
+        try:
+            if mid_query is not None:
+                result = job.wait_for_query(mid_query, max_events=2_000_000)
+                mid = self.extract(result.values)
+        except (QueryError, SimulationError):
+            pass  # a wedged mid-run query still lets the final one judge
+        try:
+            job.run_for(0.5)
+            result = job.wait_for_query(
+                job.query(full_activation=True), max_events=2_000_000)
+            final = self.extract(result.values)
+        except (QueryError, SimulationError):
+            pass  # liveness oracle reports the incomplete run
+        return {
+            "probe": probe,
+            "manifest": job.manifest,
+            "termination_times": job.master.termination_times,
+            "mid": mid,
+            "final": final,
+            "digest": job.trace.digest(),
+            "trace_dump": job.trace.dump(),
+        }
+
+
+class SSSPWorkload(TornadoWorkload):
+    def __init__(self, **kwargs) -> None:
+        super().__init__("sssp", **kwargs)
+        self.source = "v0"
+
+    def application(self) -> Application:
+        return Application(SSSPProgram(self.source), EdgeStreamRouter(),
+                           name="sssp")
+
+    def reference(self) -> dict:
+        return {v: d for v, d in
+                reference_sssp(self.edges, self.source).items()
+                if not math.isinf(d)}
+
+    def extract(self, values: dict) -> dict:
+        out = {}
+        for vertex, value in values.items():
+            distance = getattr(value, "distance", value)
+            if not math.isinf(distance):
+                out[vertex] = distance
+        return out
+
+
+class PageRankWorkload(TornadoWorkload):
+    golden_atol = 0.01
+    reference_atol = 0.02
+    storage_backend = "memory"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__("pagerank", **kwargs)
+
+    def application(self) -> Application:
+        return Application(PageRankProgram(tolerance=1e-4),
+                           EdgeStreamRouter(), name="pagerank")
+
+    def reference(self) -> dict:
+        return reference_pagerank(self.edges)
+
+    def extract(self, values: dict) -> dict:
+        return {vertex: getattr(value, "rank", value)
+                for vertex, value in values.items()}
+
+
+# ======================================================= storm workload
+class ReplaySpout(Spout):
+    """Emits ``n_tuples`` words; replays any message id not acked within
+    ``replay_timeout`` virtual seconds.  Spout-side replay keeps
+    at-least-once delivery even when a TREE_DONE/TREE_FAILED notice from
+    the acker is itself lost to a partition."""
+
+    def __init__(self, n_tuples: int, replay_timeout: float) -> None:
+        self.n_tuples = n_tuples
+        self.replay_timeout = replay_timeout
+        self.next_id = 0
+        self.pending: dict[int, float] = {}
+        self.acked: set[int] = set()
+        self.retry: list[int] = []
+
+    def open(self, ctx, collector) -> None:
+        self.ctx = ctx
+        self.collector = collector
+
+    def _emit(self, message_id: int) -> None:
+        self.pending[message_id] = self.ctx.sim.now
+        self.collector.emit({"word": f"w{message_id % 5}",
+                             "__message_id__": message_id})
+
+    def next_tuple(self) -> bool:
+        if self.retry:
+            self._emit(self.retry.pop(0))
+            return True
+        if self.next_id < self.n_tuples:
+            self._emit(self.next_id)
+            self.next_id += 1
+            return True
+        now = self.ctx.sim.now
+        stale = [mid for mid, at in self.pending.items()
+                 if now - at > self.replay_timeout]
+        if stale:
+            self._emit(min(stale))
+            return True
+        return False
+
+    def ack(self, message_id: int) -> None:
+        self.pending.pop(message_id, None)
+        self.acked.add(message_id)
+
+    def fail(self, message_id: int) -> None:
+        if message_id in self.pending and message_id not in self.retry:
+            self.retry.append(message_id)
+
+
+class CountBolt(Bolt):
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def prepare(self, ctx, collector) -> None:
+        self.collector = collector
+
+    def execute(self, tup) -> float:
+        word = tup.values.get("word") if hasattr(tup, "values") else None
+        if word is not None:
+            self.counts[word] = self.counts.get(word, 0) + 1
+            self.collector.ack(tup)
+        return 1e-5
+
+
+class StormWorkload:
+    """Replaying word-count on the storm substrate with supervision:
+    exercises the XOR acker and task restarts under kills, partitions
+    and delay spikes."""
+
+    name = "storm"
+    N_TUPLES = 30
+
+    def __init__(self, job_seed: int = 7) -> None:
+        self.job_seed = job_seed
+
+    def _task_names(self) -> list[str]:
+        return ["wordcount:gen[0]", "wordcount:count[0]",
+                "wordcount:count[1]"]
+
+    def menu(self) -> FaultMenu:
+        tasks = tuple(self._task_names())
+        return FaultMenu(kill_targets=tasks, link_endpoints=tasks)
+
+    def _build(self):
+        sim = Simulator(seed=self.job_seed,
+                        recorder=TraceRecorder(capacity=200_000,
+                                               enabled=True))
+        network = Network(sim, latency=1e-3, jitter=2e-4)
+        cluster = LocalCluster(sim, network,
+                               ClusterConfig(n_nodes=3,
+                                             tuple_timeout=1.0))
+        builder = TopologyBuilder("wordcount")
+        spouts: list[ReplaySpout] = []
+        bolts: list[CountBolt] = []
+
+        def make_spout():
+            spout = ReplaySpout(self.N_TUPLES, replay_timeout=1.5)
+            spouts.append(spout)
+            return spout
+
+        def make_bolt():
+            bolt = CountBolt()
+            bolts.append(bolt)
+            return bolt
+
+        builder.set_spout("gen", make_spout)
+        builder.set_bolt("count", make_bolt, parallelism=2) \
+               .fields_grouping("gen", ("word",))
+        cluster.submit(builder.build())
+        cluster.enable_supervision(heartbeat=0.1, restart_delay=0.2)
+        injector = FailureInjector(sim, network=network)
+        return sim, cluster, injector, spouts[0], bolts
+
+    def golden(self) -> dict:
+        return {f"w{i}": self.N_TUPLES // 5 for i in range(5)}
+
+    def run_chaos(self, schedule: ChaosSchedule) -> ChaosOutcome:
+        sim, cluster, injector, spout, bolts = self._build()
+        apply_to_cluster(sim, injector, schedule)
+        all_ids = set(range(self.N_TUPLES))
+        completed = True
+        try:
+            sim.run_until(lambda: spout.acked >= all_ids,
+                          max_events=2_000_000)
+        except SimulationError:
+            completed = False
+        # Let straggler trees drain so the conservation books can balance.
+        sim.run(until=sim.now + 3.0)
+        results = [oracles.OracleResult(
+            "liveness", completed,
+            "" if completed else
+            f"{len(all_ids - spout.acked)} message ids never acked")]
+        results.append(oracles.acker_conservation(sim.trace,
+                                                  cluster.acker))
+        counts: dict[str, int] = {}
+        for bolt in bolts:
+            for word, n in bolt.counts.items():
+                counts[word] = counts.get(word, 0) + n
+        short = {word: (counts.get(word, 0), want)
+                 for word, want in self.golden().items()
+                 if counts.get(word, 0) < want}
+        results.append(oracles.OracleResult(
+            "at-least-once-counts", not short,
+            f"undercounted words: {short}" if short else ""))
+        outcome = ChaosOutcome(self.name, schedule, results,
+                               sim.trace.digest())
+        if not outcome.passed:
+            outcome.trace_dump = sim.trace.dump()
+        return outcome
+
+
+# ============================================================= campaign
+@dataclass
+class CampaignReport:
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+    shrunk: dict[tuple[str, int], ChaosSchedule] = field(
+        default_factory=dict)
+    determinism: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> list[ChaosOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.passed]
+
+    @property
+    def passed(self) -> bool:
+        return (not self.failed
+                and all(self.determinism.values()))
+
+    def kind_coverage(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for outcome in self.outcomes:
+            for kind in sorted(outcome.schedule.kinds()):
+                tally[kind] = tally.get(kind, 0) + 1
+        return dict(sorted(tally.items()))
+
+
+def default_workloads(planted_restart_skew: int = 0) -> list:
+    return [
+        SSSPWorkload(planted_restart_skew=planted_restart_skew),
+        PageRankWorkload(planted_restart_skew=planted_restart_skew),
+        StormWorkload(),
+    ]
+
+
+def shrink(workload, schedule: ChaosSchedule,
+           max_runs: int = 24) -> ChaosSchedule:
+    """Greedy 1-minimal shrink: drop any single fault whose removal
+    still reproduces the failure, until none does (or the budget runs
+    out)."""
+    current = schedule
+    runs = 0
+    improved = True
+    while improved and len(current.faults) > 1 and runs < max_runs:
+        improved = False
+        for index in range(len(current.faults)):
+            candidate = current.without(index)
+            runs += 1
+            if not workload.run_chaos(candidate).passed:
+                current = candidate
+                improved = True
+                break
+            if runs >= max_runs:
+                break
+    return current
+
+
+def run_campaign(workloads, schedules_per_workload: int, base_seed: int,
+                 out_dir: str | None = None,
+                 log=print, shrink_failures: bool = True,
+                 max_faults: int = 4) -> CampaignReport:
+    report = CampaignReport()
+    out_path = Path(out_dir) if out_dir is not None else None
+    if out_path is not None:
+        out_path.mkdir(parents=True, exist_ok=True)
+    for windex, workload in enumerate(workloads):
+        menu = workload.menu()
+        kinds = menu.kinds()
+        for i in range(schedules_per_workload):
+            seed = base_seed * 10_000 + windex * 1_000 + i
+            schedule = generate_schedule(
+                seed, menu, HORIZON, max_faults=max_faults,
+                force_kind=kinds[i % len(kinds)])
+            outcome = workload.run_chaos(schedule)
+            report.outcomes.append(outcome)
+            status = "ok" if outcome.passed else "FAIL"
+            log(f"[{workload.name}] seed={seed} "
+                f"faults={len(schedule.faults)} "
+                f"kinds={','.join(sorted(schedule.kinds()))} {status}")
+            if i == 0:
+                # Determinism oracle: same seed, byte-identical trace.
+                repeat = workload.run_chaos(schedule)
+                same = repeat.digest == outcome.digest
+                report.determinism[workload.name] = same
+                log(f"[{workload.name}] determinism "
+                    f"{'ok' if same else 'FAIL'} "
+                    f"digest={outcome.digest[:16]}")
+            if not outcome.passed:
+                for result in outcome.failures():
+                    log(f"    {result.line()}")
+                minimal = schedule
+                if shrink_failures:
+                    minimal = shrink(workload, schedule)
+                    report.shrunk[(workload.name, seed)] = minimal
+                    log(f"    shrunk to {len(minimal.faults)} fault(s)")
+                if out_path is not None:
+                    stem = f"{workload.name}-seed{seed}"
+                    text = (minimal.dump() + "\n"
+                            + "\n".join(r.line()
+                                        for r in outcome.oracles) + "\n")
+                    (out_path / f"{stem}.schedule").write_text(text)
+                    if outcome.trace_dump:
+                        (out_path / f"{stem}.trace").write_text(
+                            outcome.trace_dump)
+    return report

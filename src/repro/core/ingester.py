@@ -11,8 +11,8 @@ from typing import Any, Iterable
 
 from repro.core.config import TornadoConfig
 from repro.core.messages import (MAIN_LOOP, BranchDone, PauseIngest,
-                                 QueryRejected, QueryRequest, ResumeIngest,
-                                 VertexInput)
+                                 PeerRecovered, QueryRejected, QueryRequest,
+                                 ResumeIngest, VertexInput)
 from repro.core.partition import PartitionScheme
 from repro.core.transport import ReliableEndpoint
 from repro.core.vertex import Application
@@ -39,9 +39,19 @@ class Ingester(Actor):
         self.result_times: dict[int, float] = {}
         self.tuples_ingested = 0
         self.inputs_routed = 0
+        self.inputs_replayed = 0
         self.paused = False
         self._held: list[StreamTuple] = []
         self.rejections: dict[int, QueryRejected] = {}
+        # Every routed input, in order.  A processor crash rolls its
+        # vertices back to the last checkpoint; inputs it acknowledged
+        # after that checkpoint died with it and the transport will not
+        # resend them, so the ingester replays its journal for the
+        # recovered processor (gathers of stream inputs are idempotent:
+        # they set edges/weights rather than accumulate).  A deployment
+        # would truncate the journal at the durable input frontier; the
+        # simulation keeps it whole.
+        self._journal: list[VertexInput] = []
 
     # -------------------------------------------------------------- feeding
     def schedule_stream(self, tuples: Iterable[StreamTuple]) -> int:
@@ -93,6 +103,8 @@ class Ingester(Actor):
             for tup in held:
                 cost += self._ingest(tup)
             return cost
+        if isinstance(payload, PeerRecovered):
+            return self._replay_inputs(payload.processor)
         if isinstance(payload, tuple) and payload[0] == "ingest":
             if self.paused:
                 self._held.append(payload[1])
@@ -104,14 +116,26 @@ class Ingester(Actor):
         self.tuples_ingested += 1
         routed = 0
         for vertex_id, delta in self.app.router.route(tup):
-            owner = self.partition.owner(vertex_id)
-            self.transport.send(owner, VertexInput(
+            inp = VertexInput(
                 loop=MAIN_LOOP,
                 vertex=vertex_id,
                 kind=delta.kind,
                 payload=delta.payload,
                 weight=delta.weight,
-            ))
+            )
+            self._journal.append(inp)
+            self.transport.send(self.partition.owner(vertex_id), inp)
             routed += 1
         self.inputs_routed += routed
         return self.config.control_cost * (1 + routed)
+
+    def _replay_inputs(self, processor: str) -> float:
+        """Re-send every journaled input the recovered processor owns."""
+        replayed = 0
+        for inp in self._journal:
+            if self.partition.owner(inp.vertex) != processor:
+                continue
+            self.transport.send(processor, inp)
+            replayed += 1
+        self.inputs_replayed += replayed
+        return self.config.control_cost * (1 + replayed)

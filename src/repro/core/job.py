@@ -69,7 +69,7 @@ class TornadoJob:
         self.store = VersionedStore()
         self.manifest = CheckpointManifest()
         self.durable = MasterDurableState()
-        self.failures = FailureInjector(self.sim)
+        self.failures = FailureInjector(self.sim, network=self.network)
         processor_names = [f"proc-{i}" for i in
                            range(self.config.n_processors)]
         self.partition = PartitionScheme(processor_names)
@@ -80,11 +80,15 @@ class TornadoJob:
                                  app, self.partition, self.network,
                                  self.MASTER)
         self.processors: list[Processor] = []
+        #: Per-processor simulated disks (empty entries for the memory
+        #: backend) — the targets of disk-stall/slowdown fault injection.
+        self.disks: dict[str, SimulatedDisk] = {}
         for index, name in enumerate(processor_names):
             backend = self._make_backend(name)
             processor = Processor(self.sim, name, self.config, app,
                                   self.partition, self.store, backend,
-                                  self.network, self.MASTER)
+                                  self.network, self.MASTER,
+                                  manifest=self.manifest)
             node = f"node{index % self.config.n_nodes}"
             self.network.colocate(name, node)
             self.processors.append(processor)
@@ -99,7 +103,15 @@ class TornadoJob:
         disk = SimulatedDisk(self.sim, f"disk-{processor_name}",
                              seek_cost=self.config.disk_seek_cost,
                              record_cost=self.config.disk_record_cost)
+        self.disks[processor_name] = disk
         return DiskBackend(disk)
+
+    def endpoints(self) -> list:
+        """Every reliable-transport endpoint of the deployment (master,
+        ingester, processors) — the attachment points for a
+        :class:`~repro.core.transport.TransportChaos` fault plane."""
+        return ([self.master.transport, self.ingester.transport]
+                + [processor.transport for processor in self.processors])
 
     # -------------------------------------------------------------- feeding
     def feed(self, tuples: Iterable[StreamTuple]) -> int:

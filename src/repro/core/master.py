@@ -285,15 +285,32 @@ class Master(Actor):
                                   actor=self.name,
                                   processor=msg.processor)
         for tracker in self.trackers.values():
-            tracker.forget_processor(msg.processor)
+            tracker.forget_all()
         loops = [(MAIN_LOOP, self.manifest.restart_iteration(MAIN_LOOP))]
         for loop, record in self.durable.branches.items():
             if not record.done:
                 loops.append((loop, self.manifest.restart_iteration(loop)))
         self.transport.send(msg.processor, RecoverLoops(tuple(loops)))
+        # Re-fork live branches on the recovered processor: its original
+        # ForkBranch may have died with the crash (and, if it was never
+        # acknowledged, its retransmission would lose the race against
+        # the recovery shell RecoverLoops builds).  The processor merges
+        # a re-fork into whatever branch state recovery restored.
+        for loop, record in self.durable.branches.items():
+            if not record.done:
+                self.transport.send(msg.processor, ForkBranch(
+                    loop=loop,
+                    fork_iteration=record.fork_iteration,
+                    previous_fork_iteration=-1,
+                    full_activation=record.full_activation))
         for peer in self.processors:
             if peer != msg.processor:
                 self.transport.send(peer, PeerRecovered(msg.processor))
+        # The ingester replays its input journal for the recovered
+        # processor: inputs acknowledged after the restored checkpoint
+        # died with the crash and nothing else will resend them.
+        self.transport.send(self.ingester_name,
+                            PeerRecovered(msg.processor))
         return self.config.master_cost
 
     def on_failure(self) -> None:

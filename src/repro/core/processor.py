@@ -30,7 +30,8 @@ from repro.core.protocol import (CommitUpdate, SendAck, SendPrepare,
 from repro.core.transport import ReliableEndpoint
 from repro.core.vertex import Application, Delta, VertexContext, VertexState
 from repro.simulator import Actor, Network, Simulator
-from repro.storage import StorageBackend, VersionedStore
+from repro.storage import (CheckpointManifest, StorageBackend,
+                           VersionedStore)
 
 
 class LoopState:
@@ -54,6 +55,12 @@ class LoopState:
         self.buffered_updates: list[tuple[int, int, VertexUpdate]] = []
         # Inputs deferred while their vertex prepares (paper §4.2).
         self.buffered_inputs: dict[Any, list[VertexInput]] = {}
+        # Highest iteration any local vertex of this loop committed at.
+        self.highest_commit = -1
+        # Whether a ForkBranch actually ran here.  Recovery may rebuild a
+        # branch as a checkpoint shell first; a later (re-sent) fork must
+        # then merge into it rather than treat it as a duplicate.
+        self.forked = False
         # Vertices touched (input or commit) since the last branch fork.
         self.changed_since_fork: set[Any] = set()
         # Per-vertex commits since the last progress report (load stats).
@@ -86,13 +93,17 @@ class Processor(Actor):
     def __init__(self, sim: Simulator, name: str, config: TornadoConfig,
                  app: Application, partition: PartitionScheme,
                  store: VersionedStore, backend: StorageBackend,
-                 network: Network, master_name: str) -> None:
+                 network: Network, master_name: str,
+                 manifest: CheckpointManifest | None = None) -> None:
         super().__init__(sim, name)
         self.config = config
         self.app = app
         self.partition = partition
         self.store = store
         self.backend = backend
+        # Shared-database checkpoint manifest: flush completions record the
+        # per-processor durable frontier here (paper §5.3).
+        self.manifest = manifest
         self.network = network
         self.master_name = master_name
         self.clock = LamportClock(name)
@@ -264,7 +275,10 @@ class Processor(Actor):
     def _handle_input(self, msg: VertexInput) -> float:
         if self._forward_if_not_owner(msg.vertex, msg):
             return self.config.control_cost
-        loop = self.loops.get(msg.loop)
+        # Orphan (don't drop) inputs that race RecoverLoops after a crash:
+        # the ingester's replayed journal may beat the master's recovery
+        # notice to a just-restarted processor.
+        loop = self._loop_or_orphan(msg.loop, msg)
         if loop is None:
             return self.config.control_cost
         state, protocol = self._ensure_vertex(loop, msg.vertex)
@@ -403,6 +417,8 @@ class Processor(Actor):
         state = loop.vertices[vertex_id]
         state.last_commit_iteration = iteration
         state.last_commit_time = self.sim.now
+        if iteration > loop.highest_commit:
+            loop.highest_commit = iteration
         version = (self.app.program.snapshot_value(state.value),
                    frozenset(state.targets))
         self.store.put(loop.name, vertex_id, iteration, version)
@@ -489,10 +505,23 @@ class Processor(Actor):
 
     # ------------------------------------------------------ fork / merge
     def _handle_fork(self, msg: ForkBranch) -> float:
-        if msg.loop in self.loops:
+        existing = self.loops.get(msg.loop)
+        if existing is not None and existing.forked:
             return self.config.control_cost
-        main = self.loops[MAIN_LOOP]
-        branch = LoopState(msg.loop, is_main=False)
+        main = self.loops.get(MAIN_LOOP)
+        if main is None:
+            # The fork raced ahead of RecoverLoops on a freshly restarted
+            # processor: there is no main loop to snapshot yet.  Orphan it
+            # under the main loop so recovery replays it.
+            self._orphans.setdefault(MAIN_LOOP, []).append(msg)
+            return self.config.control_cost
+        # Merge into a recovery shell if one exists: its vertices already
+        # hold live branch traffic (gathered updates, restored versions)
+        # that a fresh snapshot of the rolled-back main loop must not
+        # clobber.
+        branch = existing if existing is not None \
+            else LoopState(msg.loop, is_main=False)
+        branch.forked = True
         self.loops[msg.loop] = branch
         changed = main.changed_since_fork
         main.changed_since_fork = set()
@@ -508,6 +537,12 @@ class Processor(Actor):
             and payload.loop == MAIN_LOOP}
         cost = self.config.control_cost
         for vertex_id, state in main.vertices.items():
+            if vertex_id in branch.vertices:
+                # Shell vertex already live in the branch: keep its state
+                # and (re-)activate it so it re-scatters whatever the
+                # crash lost.
+                branch.protocols[vertex_id].dirty = True
+                continue
             branch_state = VertexState(
                 vertex_id, self.app.program.snapshot_value(state.value),
                 set(state.targets), state.last_commit_iteration)
@@ -559,7 +594,12 @@ class Processor(Actor):
         """Write a converged branch's results into the main loop at
         iteration τ+B (paper §5.2).  Values are read from the store, so
         merging is robust to the branch state having been stopped."""
-        main = self.loops[MAIN_LOOP]
+        main = self.loops.get(MAIN_LOOP)
+        if main is None:
+            # Same race as in _handle_fork: merge once recovery rebuilds
+            # the main loop.
+            self._orphans.setdefault(MAIN_LOOP, []).append(msg)
+            return self.config.control_cost
         merged = 0
         for vertex_id in self.store.keys(msg.loop):
             if self.partition.owner(vertex_id) != self.name:
@@ -661,15 +701,26 @@ class Processor(Actor):
             ))
             total_pending += loop.pending_flush
             loop.pending_flush = 0
+        # Durable frontiers as of this snapshot: once the flush lands,
+        # every version up to highest_commit is on stable storage.
+        frontiers = [(loop.name, loop.highest_commit)
+                     for loop in self.loops.values()
+                     if loop.highest_commit >= 0]
         self._flush_in_flight = True
         self._m_flushes.inc()
         if self._trace.enabled:
             self._trace.record(self.sim.now, "storage", "flush",
                                actor=self.name, versions=total_pending)
-        self.backend.flush(total_pending, self._send_reports, snapshots)
+        self.backend.flush(total_pending, self._send_reports, snapshots,
+                           frontiers)
 
-    def _send_reports(self, snapshots: list[ProgressReport]) -> None:
+    def _send_reports(self, snapshots: list[ProgressReport],
+                      frontiers: list[tuple[str, int]] = ()) -> None:
         self._flush_in_flight = False
+        if self.manifest is not None:
+            # The disk finished the write even if we crashed meanwhile.
+            for loop_name, iteration in frontiers:
+                self.manifest.record_flush(loop_name, self.name, iteration)
         if self.down:
             return
         for report in snapshots:

@@ -70,6 +70,16 @@ class ProgressTracker:
         if processor in self._views:
             self._views[processor] = _ProcessorView()
 
+    def forget_all(self) -> None:
+        """Invalidate every processor's view.  Used on recovery: the
+        restarted processor's state rolled back, and its peers are about
+        to generate repair traffic (re-sent PREPAREs, re-scattered
+        values) that their latest reports cannot reflect yet — deciding
+        termination or convergence from those stale reports races the
+        repair."""
+        for processor in self._views:
+            self._views[processor] = _ProcessorView()
+
     # ------------------------------------------------------------ queries
     def totals(self, iteration: int) -> tuple[int, int, int]:
         commits = sent = gathered = 0

@@ -14,11 +14,55 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any
 
+import numpy as np
+
 from repro.core.messages import Envelope, TransportAck, Unreliable
 from repro.simulator import Network, Simulator
 
 #: Per-sender dedup window; old entries are evicted FIFO.
 DEDUP_WINDOW = 65536
+
+
+class TransportChaos:
+    """Message-level fault plane shared by a job's reliable endpoints.
+
+    While :attr:`active`, each reliable transmission may be *dropped*
+    (the wire send is suppressed — the retransmit timer is still armed,
+    so at-least-once delivery self-heals) or *duplicated* (sent twice —
+    the receiver's ``(sender, msg_id)`` dedup must absorb the copy).
+    Draws come from one seeded stream, so a chaos run is deterministic
+    in (seed, schedule); endpoints without a plane installed never draw.
+    """
+
+    def __init__(self, rng: np.random.Generator, drop_rate: float = 0.0,
+                 dup_rate: float = 0.0) -> None:
+        if not 0.0 <= drop_rate + dup_rate <= 1.0:
+            raise ValueError("drop_rate + dup_rate must be within [0, 1]")
+        self.rng = rng
+        self.drop_rate = drop_rate
+        self.dup_rate = dup_rate
+        self.active = False
+        self.dropped = 0
+        self.duplicated = 0
+
+    def enable(self) -> None:
+        self.active = True
+
+    def disable(self) -> None:
+        self.active = False
+
+    def verdict(self) -> str:
+        """One deterministic draw: ``"drop"``, ``"dup"`` or ``"pass"``."""
+        if not self.active:
+            return "pass"
+        roll = float(self.rng.random())
+        if roll < self.drop_rate:
+            self.dropped += 1
+            return "drop"
+        if roll < self.drop_rate + self.dup_rate:
+            self.duplicated += 1
+            return "dup"
+        return "pass"
 
 
 class ReliableEndpoint:
@@ -30,6 +74,8 @@ class ReliableEndpoint:
         self.network = network
         self.owner = owner
         self.timeout = timeout
+        #: Optional shared fault plane (see :class:`TransportChaos`).
+        self.chaos: TransportChaos | None = None
         self._next_id = 0
         self._outbox: dict[int, tuple[str, Any]] = {}
         self._timers: dict[int, Any] = {}
@@ -52,11 +98,31 @@ class ReliableEndpoint:
             self._tags[msg_id] = tag
             self.pending_by_tag[tag] = self.pending_by_tag.get(tag, 0) + 1
         self.sent_reliable += 1
-        self.network.send(self.owner, dst, Envelope(msg_id, payload))
+        self._transmit(dst, Envelope(msg_id, payload))
         # Retransmit timers are almost always cancelled by the ack, so
         # they live on the timer wheel: O(1) schedule, true removal.
         self._timers[msg_id] = self.sim.schedule_timer(
             self.timeout, self._retransmit, msg_id)
+
+    def _transmit(self, dst: str, envelope: Envelope) -> None:
+        """Put one envelope on the wire, subject to the chaos plane: a
+        dropped transmission is recovered by the retransmit timer, a
+        duplicated one by the receiver's dedup window."""
+        if self.chaos is not None:
+            verdict = self.chaos.verdict()
+            if verdict == "drop":
+                if self.sim.trace.enabled:
+                    self.sim.trace.record(self.sim.now, "chaos",
+                                          "drop", actor=self.owner,
+                                          dst=dst, msg=envelope.msg_id)
+                return
+            if verdict == "dup":
+                if self.sim.trace.enabled:
+                    self.sim.trace.record(self.sim.now, "chaos",
+                                          "dup", actor=self.owner,
+                                          dst=dst, msg=envelope.msg_id)
+                self.network.send(self.owner, dst, envelope)
+        self.network.send(self.owner, dst, envelope)
 
     def send_unreliable(self, dst: str, payload: Any) -> None:
         self.network.send(self.owner, dst, Unreliable(payload))
@@ -67,7 +133,7 @@ class ReliableEndpoint:
             return
         dst, payload = entry
         self.retransmissions += 1
-        self.network.send(self.owner, dst, Envelope(msg_id, payload))
+        self._transmit(dst, Envelope(msg_id, payload))
         self._timers[msg_id] = self.sim.schedule_timer(
             self.timeout, self._retransmit, msg_id)
 

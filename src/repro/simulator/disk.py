@@ -36,11 +36,34 @@ class SimulatedDisk:
         self.records_read = 0
         self.requests = 0
         self.busy_time = 0.0
+        #: Multiplier on every request's duration; >1 models a degraded
+        #: device (set/reset by the failure injector's slowdown faults).
+        self.slow_factor = 1.0
+        self.stalls = 0
+
+    # -------------------------------------------------------------- faults
+    def stall(self, duration: float) -> None:
+        """Freeze the device: no request completes before ``now +
+        duration``.  Queued and future requests finish after the stall
+        (garbage-collection pause / firmware hiccup semantics)."""
+        self.stalls += 1
+        self._free_at = max(self._free_at, self.sim.now + duration)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "disk", "stall",
+                                  actor=self.name, duration=duration)
+
+    def set_slow_factor(self, factor: float) -> None:
+        """Degrade (or restore, with 1.0) the device's service rate."""
+        self.slow_factor = factor
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "disk", "slowdown",
+                                  actor=self.name, factor=factor)
 
     def _submit(self, n_records: int,
                 callback: Callable[..., Any] | None,
                 args: tuple) -> float:
         duration = self.seek_cost + self.record_cost * max(0, n_records)
+        duration *= self.slow_factor
         start = max(self.sim.now, self._free_at)
         self._free_at = start + duration
         self.requests += 1

@@ -1,8 +1,15 @@
 """Failure injection.
 
-Schedules crashes and recoveries of actors on the virtual timeline; the
-fault-tolerance experiments (paper §6.3.2, Figures 8c/8d) are driven through
-this module.
+Schedules faults on the virtual timeline; the fault-tolerance experiments
+(paper §6.3.2, Figures 8c/8d) and the chaos campaigns (``repro.chaos``)
+are driven through this module.  The vocabulary covers actor crashes,
+network partitions, fabric-wide or per-link delay spikes, and disk stalls
+and slowdowns; transport-level message drop/duplication lives in
+:class:`repro.core.transport.TransportChaos` (it needs the session layer).
+
+Every ``*_at`` method validates its target **at schedule time** — a
+typo'd actor name raises immediately instead of failing silently deep
+into a run.
 """
 
 from __future__ import annotations
@@ -10,7 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.simulator.disk import SimulatedDisk
 from repro.simulator.kernel import Simulator
+from repro.simulator.network import Network
 
 
 @dataclass
@@ -18,6 +27,7 @@ class FailureRecord:
     actor: str
     failed_at: float
     recovered_at: float | None = None
+    kind: str = "kill"
 
 
 @dataclass
@@ -26,18 +36,52 @@ class FailureLog:
 
 
 class FailureInjector:
-    """Kill and recover actors at chosen virtual instants."""
+    """Schedule faults against actors, links and devices at chosen virtual
+    instants.
 
-    def __init__(self, sim: Simulator) -> None:
+    Parameters
+    ----------
+    sim:
+        The simulator whose actor registry targets are validated against.
+    network:
+        Required for the partition / delay-spike faults; the kill/recover
+        and disk faults work without it.
+    """
+
+    def __init__(self, sim: Simulator, network: Network | None = None
+                 ) -> None:
         self.sim = sim
+        self.network = network
         self.log = FailureLog()
 
+    # ------------------------------------------------------------- helpers
+    def _check_time(self, time: float) -> None:
+        if time < self.sim.now:
+            raise SimulationError("cannot schedule a failure in the past")
+
+    def _check_actor(self, actor_name: str) -> None:
+        """Fail fast on a typo'd target: the actor must already be
+        registered when the fault is scheduled."""
+        if actor_name not in self.sim.actors:
+            known = ", ".join(sorted(self.sim.actors)) or "<none>"
+            raise SimulationError(
+                f"cannot schedule a failure for unknown actor "
+                f"{actor_name!r} (registered: {known})")
+
+    def _check_network(self, fault: str) -> Network:
+        if self.network is None:
+            raise SimulationError(
+                f"{fault} faults need a FailureInjector built with a "
+                f"network")
+        return self.network
+
+    # ---------------------------------------------------------------- kill
     def kill_at(self, time: float, actor_name: str,
                 recover_after: float | None = None) -> None:
         """Crash ``actor_name`` at ``time``; optionally restart it
         ``recover_after`` seconds later."""
-        if time < self.sim.now:
-            raise SimulationError("cannot schedule a failure in the past")
+        self._check_time(time)
+        self._check_actor(actor_name)
         record = FailureRecord(actor_name, failed_at=time)
         self.log.records.append(record)
         self.sim.schedule_at(time, self._kill, actor_name)
@@ -55,3 +99,87 @@ class FailureInjector:
     def _recover(self, actor_name: str, record: FailureRecord) -> None:
         record.recovered_at = self.sim.now
         self.sim.actor(actor_name).recover()
+
+    # ----------------------------------------------------------- partition
+    def partition_at(self, time: float, src: str, dst: str,
+                     heal_after: float | None = None,
+                     symmetric: bool = True) -> None:
+        """Partition the ``src`` -> ``dst`` link (and the reverse direction
+        unless ``symmetric=False``) at ``time``; optionally heal it
+        ``heal_after`` seconds later."""
+        network = self._check_network("partition")
+        self._check_time(time)
+        self._check_actor(src)
+        self._check_actor(dst)
+        record = FailureRecord(f"{src}->{dst}", failed_at=time,
+                               kind="partition")
+        self.log.records.append(record)
+        self.sim.schedule_at(time, network.block, src, dst)
+        if symmetric:
+            self.sim.schedule_at(time, network.block, dst, src)
+        if heal_after is not None:
+            self.sim.schedule_at(time + heal_after, self._heal_partition,
+                                 src, dst, symmetric, record)
+
+    def _heal_partition(self, src: str, dst: str, symmetric: bool,
+                        record: FailureRecord) -> None:
+        network = self._check_network("partition")
+        record.recovered_at = self.sim.now
+        network.unblock(src, dst)
+        if symmetric:
+            network.unblock(dst, src)
+
+    # --------------------------------------------------------- delay spike
+    def delay_spike_at(self, time: float, extra: float, duration: float,
+                       src: str | None = None,
+                       dst: str | None = None) -> None:
+        """Add ``extra`` seconds of one-way latency to the whole fabric
+        (or to the ``src`` -> ``dst`` link when both are given) for
+        ``duration`` virtual seconds."""
+        network = self._check_network("delay-spike")
+        self._check_time(time)
+        if (src is None) != (dst is None):
+            raise SimulationError(
+                "link delay spikes need both src and dst (or neither)")
+        if src is not None:
+            self._check_actor(src)
+            self._check_actor(dst)
+        target = "fabric" if src is None else f"{src}->{dst}"
+        record = FailureRecord(target, failed_at=time, kind="delay")
+        self.log.records.append(record)
+        self.sim.schedule_at(time, network.add_delay, extra, src, dst)
+        self.sim.schedule_at(time + duration, self._heal_delay, extra,
+                             src, dst, record)
+
+    def _heal_delay(self, extra: float, src: str | None, dst: str | None,
+                    record: FailureRecord) -> None:
+        record.recovered_at = self.sim.now
+        self._check_network("delay-spike").remove_delay(extra, src, dst)
+
+    # ---------------------------------------------------------------- disk
+    def disk_stall_at(self, time: float, disk: SimulatedDisk,
+                      duration: float) -> None:
+        """Freeze ``disk`` for ``duration`` seconds starting at ``time``
+        (requests queue and complete after the stall)."""
+        self._check_time(time)
+        record = FailureRecord(disk.name, failed_at=time, kind="disk-stall")
+        record.recovered_at = time + duration
+        self.log.records.append(record)
+        self.sim.schedule_at(time, disk.stall, duration)
+
+    def disk_slowdown_at(self, time: float, disk: SimulatedDisk,
+                         factor: float, duration: float) -> None:
+        """Degrade ``disk`` by ``factor`` for ``duration`` seconds."""
+        self._check_time(time)
+        if factor <= 0:
+            raise SimulationError(f"slowdown factor must be > 0: {factor}")
+        record = FailureRecord(disk.name, failed_at=time,
+                               kind="disk-slowdown")
+        self.log.records.append(record)
+        self.sim.schedule_at(time, disk.set_slow_factor, factor)
+        self.sim.schedule_at(time + duration, self._heal_disk, disk, record)
+
+    def _heal_disk(self, disk: SimulatedDisk,
+                   record: FailureRecord) -> None:
+        record.recovered_at = self.sim.now
+        disk.set_slow_factor(1.0)

@@ -99,6 +99,10 @@ class Network:
         self._next_free = 0.0
         self._placement: dict[str, str] = {}
         self._blocked: set[tuple[str, str]] = set()
+        #: Fabric-wide extra one-way latency (delay spikes stack additively).
+        self.extra_latency = 0.0
+        #: Per-(src, dst) extra latency on top of the fabric-wide spike.
+        self._link_extra: dict[tuple[str, str], float] = {}
         #: Per-link accounting, populated only while tracing is enabled.
         self.link_stats: dict[tuple[str, str], LinkStats] = {}
         #: Optional ``message -> size in bytes`` estimator for per-link
@@ -136,6 +140,40 @@ class Network:
             self.sim.trace.record(self.sim.now, "net", "unblock",
                                   actor=src, dst=dst)
 
+    # --------------------------------------------------------- delay spikes
+    def add_delay(self, extra: float, src: str | None = None,
+                  dst: str | None = None) -> None:
+        """Start a delay spike: every remote message (or every ``src``
+        -> ``dst`` message when both are given) pays ``extra`` additional
+        one-way latency until :meth:`remove_delay` undoes it.  Spikes
+        stack, so overlapping faults compose additively."""
+        if src is not None and dst is not None:
+            key = (src, dst)
+            self._link_extra[key] = self._link_extra.get(key, 0.0) + extra
+        else:
+            self.extra_latency += extra
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "net", "delay_spike",
+                                  actor=src or "-", dst=dst or "-",
+                                  extra=extra)
+
+    def remove_delay(self, extra: float, src: str | None = None,
+                     dst: str | None = None) -> None:
+        """End a delay spike previously started with :meth:`add_delay`."""
+        if src is not None and dst is not None:
+            key = (src, dst)
+            remaining = self._link_extra.get(key, 0.0) - extra
+            if remaining > 1e-12:
+                self._link_extra[key] = remaining
+            else:
+                self._link_extra.pop(key, None)
+        else:
+            self.extra_latency = max(0.0, self.extra_latency - extra)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "net", "delay_heal",
+                                  actor=src or "-", dst=dst or "-",
+                                  extra=extra)
+
     # ------------------------------------------------------------- sending
     def send(self, src: str, dst: str, message: Any) -> None:
         """Deliver ``message`` from actor ``src`` to actor ``dst`` after the
@@ -159,7 +197,9 @@ class Network:
             delay = self.local_latency
         else:
             self.stats.record_remote(now)
-            delay = self.latency
+            delay = self.latency + self.extra_latency
+            if self._link_extra:
+                delay += self._link_extra.get((src, dst), 0.0)
             if self.jitter:
                 delay += float(self._rng.random()) * self.jitter
             if self.capacity is not None:

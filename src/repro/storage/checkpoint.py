@@ -18,6 +18,10 @@ class CheckpointManifest:
 
     flushed: dict[tuple[str, str], int] = field(default_factory=dict)
     terminated: dict[str, int] = field(default_factory=dict)
+    #: Test-only planted mutation: skews :meth:`restart_iteration` by this
+    #: many iterations.  The chaos oracles must catch any non-zero value
+    #: (see the mutation smoke tests); never set it outside those tests.
+    planted_restart_skew: int = 0
 
     def record_flush(self, loop: str, processor: str, iteration: int) -> None:
         """Processor ``processor`` has made every version of ``loop`` up to
@@ -35,7 +39,10 @@ class CheckpointManifest:
     def restart_iteration(self, loop: str) -> int:
         """Iteration from which a recovering loop may resume: the last
         terminated iteration, or -1 if none (restart from scratch)."""
-        return self.terminated.get(loop, -1)
+        last = self.terminated.get(loop, -1)
+        if last >= 0 and self.planted_restart_skew:
+            return max(-1, last + self.planted_restart_skew)
+        return last
 
     def durable_frontier(self, loop: str, processors: list[str]) -> int:
         """Highest iteration durable on *every* listed processor."""

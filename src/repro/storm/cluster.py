@@ -102,6 +102,11 @@ class _SpoutExecutor(Actor):
         self.spout.open(self.ctx, OutputCollector(self.ctx))
         self.deliver(self.POLL, self.name)
 
+    def on_recover(self) -> None:
+        """Restart the poll chain: a POLL delivered (and lost) while the
+        task was down would otherwise leave the spout silent forever."""
+        self.deliver(self.POLL, self.name)
+
     def handle(self, message: Any, sender: str) -> float:
         if message == self.POLL:
             emitted = self.spout.next_tuple()

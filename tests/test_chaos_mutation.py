@@ -1,0 +1,30 @@
+"""Mutation smoke test for the chaos oracles (ISSUE satellite).
+
+``CheckpointManifest.planted_restart_skew`` is a deliberately planted
+off-by-one in the restart frontier, gated behind a test-only flag.  The
+chaos oracle suite must catch it: with the skew enabled the
+manifest-consistency oracle has to fail, and with the flag off the very
+same schedule must pass every oracle.  A mutation the oracles cannot see
+would mean the campaign has no teeth.
+"""
+
+from repro.chaos import ChaosSchedule, SSSPWorkload
+
+
+def run(skew):
+    workload = SSSPWorkload(planted_restart_skew=skew)
+    # The fault-free schedule is enough: the mutation skews the manifest's
+    # restart frontier unconditionally once any iteration terminates.
+    return workload.run_chaos(ChaosSchedule(seed=0, faults=[]))
+
+
+class TestPlantedRestartSkew:
+    def test_oracles_catch_planted_skew(self):
+        outcome = run(skew=1)
+        assert not outcome.passed
+        failed = {result.oracle for result in outcome.failures()}
+        assert "manifest-consistency" in failed
+
+    def test_oracles_pass_without_mutation(self):
+        outcome = run(skew=0)
+        assert outcome.passed, [r.line() for r in outcome.failures()]

@@ -105,6 +105,18 @@ class TestProcessorFailure:
         result = job.wait_for_query(query_id)
         assert distances(result.values) == reference()
 
+    def test_kill_during_ingestion_replays_inputs(self):
+        """Found by the chaos property test: a processor that crashes
+        while the stream is still being ingested loses inputs it had
+        acknowledged but not yet committed to the store.  The ingester
+        must replay its journal for the recovered processor."""
+        job = make_job(delay_bound=65536)
+        job.failures.kill_at(0.01, "proc-0", recover_after=0.5)
+        job.failures.kill_at(0.5, "proc-2", recover_after=0.5)
+        job.run_for(6.0)
+        assert distances(job.main_values()) == reference()
+        assert job.ingester.inputs_replayed > 0
+
     def test_two_processor_failures(self):
         job = make_job(delay_bound=65536)
         job.failures.kill_at(0.04, "proc-0", recover_after=0.4)

@@ -139,10 +139,17 @@ class TestMasterRecoveryProtocol:
         sim.run(until=2.0)
         tracker = master.trackers[MAIN_LOOP]
         assert not tracker.all_reported()
-        # A fresh report (seq restarting at 1) is accepted again.
+        # Every view is invalidated, not just the restarted processor's:
+        # the peers owe repair traffic their old reports cannot show, so
+        # nothing may terminate or converge until everyone re-reports.
         processors[0].transport.send("master", report("p0", 1,
                                                       {0: (1, 0, 0)}))
         sim.run(until=3.0)
+        assert not tracker.all_reported()
+        for processor in processors[1:]:
+            processor.transport.send("master", report(
+                processor.name, 6, {0: (1, 0, 0)}))
+        sim.run(until=4.0)
         assert tracker.all_reported()
 
     def test_master_failure_rebuilds_from_durable_state(self):

@@ -1,0 +1,37 @@
+"""Property test: arbitrary kill/recover schedules never break exactness.
+
+Hypothesis draws a random subset of the cluster's actors (processors and
+the master), a random kill time and a random downtime for each, runs the
+SSSP job from the fault-tolerance suite under that schedule, and checks
+the final distances are byte-identical to the sequential reference.  This
+is the same oracle the chaos campaigns use, driven by hypothesis's own
+shrinker instead of the campaign's greedy one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TornadoJob
+from tests.test_core_fault_tolerance import distances, make_job, reference
+
+ACTORS = ["proc-0", "proc-1", "proc-2", TornadoJob.MASTER]
+
+kill_specs = st.lists(
+    st.tuples(
+        st.sampled_from(ACTORS),
+        st.floats(min_value=0.01, max_value=1.2),   # kill time
+        st.floats(min_value=0.05, max_value=0.8),   # downtime
+    ),
+    min_size=1, max_size=4,
+    unique_by=lambda spec: spec[0],
+)
+
+
+@given(specs=kill_specs)
+@settings(max_examples=15, deadline=None)
+def test_random_kill_recover_schedule_is_exact(specs):
+    job = make_job(delay_bound=65536)
+    for actor, at, downtime in specs:
+        job.failures.kill_at(at, actor, recover_after=downtime)
+    job.run_for(6.0)
+    assert distances(job.main_values()) == reference()

@@ -61,3 +61,144 @@ class TestRandomStreams:
         a = RandomStreams(seed=5).spawn("n").stream("s").random(3)
         b = RandomStreams(seed=5).spawn("n").stream("s").random(3)
         assert list(a) == list(b)
+
+
+class TestScheduleTimeValidation:
+    """Every *_at method validates its target when the fault is scheduled,
+    not when it fires (the chaos campaigns depend on failing fast here)."""
+
+    def test_kill_at_unknown_actor_rejected(self):
+        sim = Simulator()
+        Recorder(sim, "worker")
+        injector = FailureInjector(sim)
+        with pytest.raises(SimulationError, match="unknown actor 'wroker'"):
+            injector.kill_at(1.0, "wroker")
+        # Nothing was scheduled and nothing was logged.
+        assert injector.log.records == []
+        assert sim.run() == 0.0
+
+    def test_kill_at_error_lists_registered_actors(self):
+        sim = Simulator()
+        Recorder(sim, "a")
+        Recorder(sim, "b")
+        with pytest.raises(SimulationError, match="registered: a, b"):
+            FailureInjector(sim).kill_at(1.0, "c")
+
+    def test_partition_at_unknown_endpoint_rejected(self):
+        from repro.simulator import Network
+        sim = Simulator()
+        network = Network(sim)
+        Recorder(sim, "a")
+        injector = FailureInjector(sim, network=network)
+        with pytest.raises(SimulationError, match="unknown actor"):
+            injector.partition_at(1.0, "a", "ghost")
+
+    def test_partition_needs_network(self):
+        sim = Simulator()
+        Recorder(sim, "a")
+        Recorder(sim, "b")
+        with pytest.raises(SimulationError, match="network"):
+            FailureInjector(sim).partition_at(1.0, "a", "b")
+
+    def test_delay_spike_one_sided_link_rejected(self):
+        from repro.simulator import Network
+        sim = Simulator()
+        network = Network(sim)
+        Recorder(sim, "a")
+        injector = FailureInjector(sim, network=network)
+        with pytest.raises(SimulationError, match="both src and dst"):
+            injector.delay_spike_at(1.0, 0.05, 1.0, src="a")
+
+
+class TestNetworkFaults:
+    def make(self):
+        from repro.simulator import Network
+        sim = Simulator()
+        network = Network(sim, latency=0.001)
+        a = Recorder(sim, "a", cost=0.0)
+        b = Recorder(sim, "b", cost=0.0)
+        network.colocate("a", "node0")
+        network.colocate("b", "node1")
+        injector = FailureInjector(sim, network=network)
+        return sim, network, injector, a, b
+
+    def test_partition_blocks_then_heals(self):
+        sim, network, injector, _a, b = self.make()
+        injector.partition_at(1.0, "a", "b", heal_after=2.0)
+        sim.schedule(1.5, network.send, "a", "b", "lost")
+        sim.schedule(3.5, network.send, "a", "b", "delivered")
+        sim.run()
+        assert [m for _t, m, _s in b.seen] == ["delivered"]
+        record = injector.log.records[0]
+        assert record.kind == "partition"
+        assert record.recovered_at == 3.0
+
+    def test_delay_spike_adds_latency_then_heals(self):
+        sim, network, injector, _a, b = self.make()
+        injector.delay_spike_at(1.0, 0.5, duration=1.0)
+        sim.schedule(1.2, network.send, "a", "b", "slow")
+        sim.schedule(3.0, network.send, "a", "b", "fast")
+        sim.run()
+        times = {m: t for t, m, _s in b.seen}
+        assert times["slow"] == pytest.approx(1.2 + 0.001 + 0.5)
+        assert times["fast"] == pytest.approx(3.0 + 0.001)
+
+    def test_link_delay_spike_only_hits_that_link(self):
+        sim, network, injector, a, b = self.make()
+        injector.delay_spike_at(1.0, 0.5, duration=5.0, src="a", dst="b")
+        sim.schedule(1.2, network.send, "a", "b", "spiked")
+        sim.schedule(1.2, network.send, "b", "a", "clean")
+        sim.run()
+        assert b.seen[0][0] == pytest.approx(1.2 + 0.001 + 0.5)
+        assert a.seen[0][0] == pytest.approx(1.2 + 0.001)
+
+    def test_delay_spikes_stack_additively(self):
+        sim, network, injector, _a, b = self.make()
+        injector.delay_spike_at(1.0, 0.2, duration=2.0)
+        injector.delay_spike_at(1.0, 0.3, duration=2.0)
+        sim.schedule(1.5, network.send, "a", "b", "both")
+        sim.schedule(4.0, network.send, "a", "b", "none")
+        sim.run()
+        assert b.seen[0][0] == pytest.approx(1.5 + 0.001 + 0.5)
+        assert b.seen[1][0] == pytest.approx(4.0 + 0.001)
+
+
+class TestDiskFaults:
+    def make_disk(self):
+        from repro.simulator import SimulatedDisk
+        sim = Simulator()
+        disk = SimulatedDisk(sim, "d", seek_cost=0.0, record_cost=0.01)
+        return sim, disk
+
+    def test_disk_stall_defers_completions(self):
+        sim, disk = self.make_disk()
+        injector = FailureInjector(sim)
+        injector.disk_stall_at(1.0, disk, duration=4.0)
+        done = []
+        sim.schedule(2.0, disk.write, 10, done.append, "w")
+        sim.run()
+        # The write issued at t=2 cannot start before the stall ends at 5.
+        assert sim.now == pytest.approx(5.0 + 0.1)
+        assert done == ["w"]
+        assert injector.log.records[0].kind == "disk-stall"
+        assert injector.log.records[0].recovered_at == 5.0
+
+    def test_disk_slowdown_scales_duration_then_heals(self):
+        sim, disk = self.make_disk()
+        injector = FailureInjector(sim)
+        injector.disk_slowdown_at(1.0, disk, factor=10.0, duration=2.0)
+        slow = []
+        fast = []
+        sim.schedule(1.0, disk.write, 10, slow.append, None)
+        sim.schedule(5.0, disk.write, 10, fast.append, None)
+        sim.run()
+        assert slow == [None] and fast == [None]
+        assert disk.slow_factor == 1.0
+        # 10 records at 0.01 each: 1.0s under 10x slowdown, 0.1s healthy.
+        assert sim.now == pytest.approx(5.0 + 0.1)
+
+    def test_disk_slowdown_rejects_nonpositive_factor(self):
+        sim, disk = self.make_disk()
+        with pytest.raises(SimulationError, match="factor"):
+            FailureInjector(sim).disk_slowdown_at(1.0, disk, factor=0.0,
+                                                  duration=1.0)
