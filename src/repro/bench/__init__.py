@@ -10,6 +10,7 @@ from repro.bench.fig8 import run_failure_figure, run_fig8b
 from repro.bench.fig9 import run_fig9
 from repro.bench.harness import ExperimentResult, ShapeCheck, percentile
 from repro.bench.perf import run_perf
+from repro.bench.skew import run_skew
 from repro.bench.table1 import run_table1
 from repro.bench.table2 import run_fig8a, run_table2
 from repro.bench.table3 import run_table3
@@ -40,6 +41,7 @@ __all__ = [
     "run_fig8b",
     "run_fig9",
     "run_perf",
+    "run_skew",
     "run_table1",
     "run_table2",
     "run_table3",

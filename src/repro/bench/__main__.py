@@ -20,8 +20,8 @@ from repro.bench import (MEDIUM, SMALL, run_ablation_activation,
                          run_ablation_sampling, run_ablation_storage,
                          run_failure_figure, run_fig5, run_fig6a,
                          run_fig6b, run_fig7a, run_fig7b, run_fig8a,
-                         run_fig8b, run_fig9, run_perf, run_table1,
-                         run_table2, run_table3)
+                         run_fig8b, run_fig9, run_perf, run_skew,
+                         run_table1, run_table2, run_table3)
 from repro.bench.harness import ExperimentResult
 
 
@@ -43,6 +43,7 @@ def _experiments(scale, trace: bool = False, quick: bool = False
         "fig8d": lambda: run_failure_figure("processor", scale,
                                             trace=trace),
         "fig9": lambda: run_fig9(scale),
+        "skew": lambda: run_skew(),
         "table3": lambda: run_table3(scale),
         "ablation-activation": lambda: run_ablation_activation(scale),
         "ablation-sampling": lambda: run_ablation_sampling(scale),

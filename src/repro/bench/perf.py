@@ -42,6 +42,7 @@ from dataclasses import replace
 from typing import Any, Callable
 
 from repro.bench.harness import ExperimentResult
+from repro.bench.skew import skew_section
 from repro.bench.workloads import SMALL, Scale, sssp_bundle
 from repro.simulator import Actor, Network, Simulator
 
@@ -214,11 +215,15 @@ def _ab(name: str, make: Callable[[bool], Callable[[], Simulator]],
 def run_perf(quick: bool = False,
              json_path: str | None = "BENCH_perf.json",
              *, steps: int | None = None, bursts: int | None = None,
-             fig_scale: Scale | None = None) -> ExperimentResult:
+             fig_scale: Scale | None = None,
+             skew_sizes: dict[str, Any] | None = None) -> ExperimentResult:
     """Run every scenario fast-vs-legacy, write ``json_path`` (unless
     ``None``) and return the usual experiment report.  The keyword
     overrides shrink individual scenarios below ``--quick`` size; the
-    test suite uses them to check the report shape in about a second."""
+    test suite uses them to check the report shape in about a second.
+    ``skew_sizes`` forwards size overrides to the skew section (virtual
+    time, so unlike the wall-clock scenarios it is machine independent
+    and comparable across baselines at the same sizes)."""
     if steps is None:
         steps = 20_000 if quick else 60_000
     if bursts is None:
@@ -277,6 +282,21 @@ def run_perf(quick: bool = False,
     result.check("same seed ⇒ byte-identical trace (fast vs legacy)",
                  identical, f"digest={digests['fast'][:16]}…")
 
+    # Live-migration skew benchmark: virtual-time ratios, so the numbers
+    # are exact replay facts a baseline comparison can hold to.
+    skew = skew_section(**(skew_sizes or {}))
+    result.add_row(scenario="skew_live_vs_pause",
+                   events=skew["modes"]["live"]["tuples"],
+                   legacy_eps=skew["modes"]["pause"]["throughput"],
+                   fast_eps=skew["modes"]["live"]["throughput"],
+                   speedup=skew["live_over_pause"])
+    result.check("live migration ≥2x stop-the-world on planted skew",
+                 skew["live_over_pause"] >= 2.0,
+                 f"live/pause={skew['live_over_pause']:.2f}x "
+                 "(virtual-time throughput)")
+    result.check("same seed ⇒ byte-identical trace under live migration",
+                 skew["determinism"]["identical"])
+
     report = {
         "bench": "kernel_fast_path",
         "version": 1,
@@ -287,6 +307,7 @@ def run_perf(quick: bool = False,
                                    "events_match")}
                       for s in scenarios},
         "determinism": {"digests": digests, "identical": identical},
+        "skew": skew,
     }
     result.extras["report"] = report
     if json_path is not None:
@@ -321,6 +342,20 @@ def compare_reports(baseline: dict[str, Any],
     curr_det = current.get("determinism", {}).get("identical")
     lines.append(f"determinism identical: baseline={base_det} "
                  f"current={curr_det}")
+    base_skew = baseline.get("skew")
+    curr_skew = current.get("skew")
+    if base_skew or curr_skew:
+        def _skew_line(tag: str, skew: dict[str, Any] | None) -> str:
+            if not skew:
+                return f"skew ({tag}): (absent)"
+            return (f"skew ({tag}): live/pause="
+                    f"{skew['live_over_pause']:.2f}x at "
+                    f"{skew['n_vertices']}v/{skew['n_edges']}e, "
+                    f"deterministic={skew['determinism']['identical']}")
+        lines.append(_skew_line("baseline", base_skew))
+        lines.append(_skew_line("current", curr_skew))
+        lines.append("(skew is virtual time — comparable across machines "
+                     "at the same sizes.)")
     lines.append("(eps = fast-path events/sec, wall-clock; x = speedup "
                  "over the legacy kernel. Ratios across machines are "
                  "indicative only.)")

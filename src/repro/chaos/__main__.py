@@ -11,9 +11,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.chaos.campaign import default_workloads, run_campaign
+from repro.chaos.campaign import (default_workloads,
+                                  master_kill_mid_rebalance_outcome,
+                                  run_campaign)
 
-WORKLOADS = ("sssp", "pagerank", "storm")
+WORKLOADS = ("sssp", "pagerank", "migration", "storm")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,6 +51,17 @@ def main(argv: list[str] | None = None) -> int:
     report = run_campaign(workloads, per_workload, args.seed,
                           out_dir=args.out,
                           shrink_failures=not args.no_shrink)
+
+    # Deterministic regression: master killed after PauseIngest, before
+    # the stop-the-world rebalance — the durable rebalance_pending
+    # marker must get ingest moving again.
+    rebalance_kill = master_kill_mid_rebalance_outcome(
+        args.planted_restart_skew)
+    report.outcomes.append(rebalance_kill)
+    print(f"[rebalance-pause] master kill mid-rebalance "
+          f"{'ok' if rebalance_kill.passed else 'FAIL'}")
+    for result in rebalance_kill.failures():
+        print(f"    {result.line()}")
 
     total = len(report.outcomes)
     failed = len(report.failed)

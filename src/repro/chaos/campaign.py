@@ -23,7 +23,7 @@ from repro.algorithms.sssp import SSSPProgram, reference_sssp
 from repro.chaos import oracles
 from repro.chaos.faults import (apply_to_cluster, apply_to_job,
                                 fault_windows)
-from repro.chaos.schedule import (ChaosSchedule, FaultMenu,
+from repro.chaos.schedule import (ChaosSchedule, FaultMenu, FaultSpec,
                                   generate_schedule)
 from repro.core import Application, TornadoConfig, TornadoJob
 from repro.core.messages import MAIN_LOOP
@@ -100,9 +100,21 @@ class TornadoWorkload:
     golden_atol = 0.0
     reference_atol = 0.0
     storage_backend = "disk"
+    #: ``"live"``/``"pause"`` turn the rebalancer on; ``None`` leaves it
+    #: off.  With :attr:`plant_hot_spot`, every vertex starts on proc-0
+    #: so each run migrates for real while the faults land.
+    rebalance_mode: str | None = None
+    plant_hot_spot = False
 
     # ------------------------------------------------------------ build
     def build(self) -> TornadoJob:
+        rebalance = {}
+        if self.rebalance_mode is not None:
+            rebalance = dict(rebalance_enabled=True,
+                             rebalance_mode=self.rebalance_mode,
+                             rebalance_factor=1.5,
+                             rebalance_min_gap=0.005,
+                             rebalance_cooldown=0.1)
         config = TornadoConfig(
             seed=self.job_seed,
             n_processors=3,
@@ -113,9 +125,14 @@ class TornadoWorkload:
             merge_policy="never",
             trace_enabled=True,
             trace_capacity=200_000,
+            **rebalance,
         )
         job = TornadoJob(self.application(), config)
         job.manifest.planted_restart_skew = self.planted_restart_skew
+        if self.plant_hot_spot:
+            vertices = sorted({v for edge in self.edges for v in edge})
+            job.partition.reassign_batch(
+                [(vertex, "proc-0") for vertex in vertices])
         job.feed(edge_stream(self.edges, UniformRate(rate=1000.0)))
         return job
 
@@ -223,6 +240,48 @@ class SSSPWorkload(TornadoWorkload):
             if not math.isinf(distance):
                 out[vertex] = distance
         return out
+
+
+class MigrationWorkload(SSSPWorkload):
+    """SSSP with a planted hot spot and the live migrator on: every
+    schedule interleaves its faults with in-flight vertex handoffs, so
+    the exact-recovery oracles also judge the migration protocol
+    (epoch fencing, buffered-gather replay, crash re-drives)."""
+
+    rebalance_mode = "live"
+    plant_hot_spot = True
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.name = "migration"
+
+
+def master_kill_mid_rebalance_outcome(
+        planted_restart_skew: int = 0) -> ChaosOutcome:
+    """The deterministic regression schedule for the durable
+    ``rebalance_pending`` marker: probe a fault-free pause-mode run for
+    the instant ingest pauses (virtual time is replayable, so the probe
+    is exact), then kill the master at precisely that moment — after
+    ``PauseIngest``, before the rebalance — and judge the run with the
+    usual oracles."""
+
+    class PauseRebalanceWorkload(SSSPWorkload):
+        rebalance_mode = "pause"
+        plant_hot_spot = True
+
+        def __init__(self, **kwargs) -> None:
+            super().__init__(**kwargs)
+            self.name = "rebalance-pause"
+
+    workload = PauseRebalanceWorkload(
+        planted_restart_skew=planted_restart_skew)
+    probe = workload.build()
+    probe.run_until(lambda: probe.ingester.paused, max_events=2_000_000)
+    kill_at = probe.sim.now
+    schedule = ChaosSchedule(seed=0, faults=[
+        FaultSpec(kind="kill", start=kill_at, duration=0.2,
+                  a=TornadoJob.MASTER)])
+    return workload.run_chaos(schedule)
 
 
 class PageRankWorkload(TornadoWorkload):
@@ -425,6 +484,7 @@ def default_workloads(planted_restart_skew: int = 0) -> list:
     return [
         SSSPWorkload(planted_restart_skew=planted_restart_skew),
         PageRankWorkload(planted_restart_skew=planted_restart_skew),
+        MigrationWorkload(planted_restart_skew=planted_restart_skew),
         StormWorkload(),
     ]
 

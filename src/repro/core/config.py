@@ -82,6 +82,16 @@ class TornadoConfig:
     rebalance_min_gap: float = 0.05
     #: Minimum virtual time between two rebalances.
     rebalance_cooldown: float = 1.0
+    #: "live": migrate vertex batches while the main loop keeps running
+    #: (epoch-fenced handoff, no ingest pause).  "pause": the legacy
+    #: stop-the-world rebalancer (pause ingest, wait for quiescence, move
+    #: the hottest vertices) — kept as the A/B baseline.
+    rebalance_mode: str = "live"
+    #: Most vertices a single live-migration plan may move.
+    migration_max_batch: int = 16
+    #: How many ``(vertex, weight)`` load pairs each progress report
+    #: carries for the planner.
+    migration_report_top_k: int = 8
 
     # ------------------------------------------------------- observability
     #: Enable the flight recorder (repro.obs.TraceRecorder).  Off by
@@ -114,5 +124,12 @@ class TornadoConfig:
                 f"unknown admission policy: {self.branch_admission!r}")
         if self.max_concurrent_branches < 1:
             raise ValueError("max_concurrent_branches must be >= 1")
+        if self.rebalance_mode not in ("live", "pause"):
+            raise ValueError(
+                f"unknown rebalance mode: {self.rebalance_mode!r}")
+        if self.migration_max_batch < 1:
+            raise ValueError("migration_max_batch must be >= 1")
+        if self.migration_report_top_k < 1:
+            raise ValueError("migration_report_top_k must be >= 1")
         if self.trace_capacity < 1:
             raise ValueError("trace_capacity must be >= 1")

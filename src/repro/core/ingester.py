@@ -41,6 +41,8 @@ class Ingester(Actor):
         self.inputs_routed = 0
         self.inputs_replayed = 0
         self.paused = False
+        #: Times ingest was paused (the live migrator must keep this 0).
+        self.pauses = 0
         self._held: list[StreamTuple] = []
         self.rejections: dict[int, QueryRejected] = {}
         # Every routed input, in order.  A processor crash rolls its
@@ -94,6 +96,8 @@ class Ingester(Actor):
             self.rejections[payload.query_id] = payload
             return self.config.control_cost
         if isinstance(payload, PauseIngest):
+            if not self.paused:
+                self.pauses += 1
             self.paused = True
             return self.config.control_cost
         if isinstance(payload, ResumeIngest):

@@ -278,8 +278,17 @@ class TornadoJob:
 
     def quiescent(self) -> bool:
         """The main loop is idle everywhere: no pending vertex work, no
-        unacknowledged session message, no delay-buffered update."""
+        unacknowledged session message, no delay-buffered update, no
+        vertex handoff in flight."""
+        if self.durable.migration is not None:
+            return False
+        if self.partition.migrating_count():
+            return False
         for processor in self.processors:
+            if not processor.migration_idle:
+                return False
+            if processor.transport.pending_by_tag.get("migration", 0):
+                return False
             main = processor.loops.get(MAIN_LOOP)
             if main is None:
                 continue

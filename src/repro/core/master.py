@@ -16,11 +16,13 @@ from typing import Any
 from repro.core.config import TornadoConfig
 from repro.core.messages import (MAIN_LOOP, BranchDone, ForkBranch,
                                  IterationTerminated, MergeBranch,
+                                 MigrateDone, MigrateState,
                                  PauseIngest, PeerRecovered,
                                  ProcessorRecovered,
                                  ProgressReport, QueryRejected,
                                  QueryRequest, RecoverLoops, Repartition,
                                  ResumeIngest, StopLoop, branch_name)
+from repro.core.migration import MigrationPlanner
 from repro.core.partition import PartitionScheme
 from repro.core.progress import ProgressTracker
 from repro.core.transport import ReliableEndpoint
@@ -46,12 +48,31 @@ class BranchRecord:
 
 
 @dataclass
+class MigrationRecord:
+    """Durable record of one in-flight live migration: the moves cut at
+    ``epoch`` and the vertices whose adoption was confirmed so far."""
+
+    epoch: int
+    moves: tuple[tuple[Any, str, str], ...]
+    done: set = field(default_factory=set)
+
+    @property
+    def complete(self) -> bool:
+        return all(vertex in self.done for vertex, _s, _t in self.moves)
+
+
+@dataclass
 class MasterDurableState:
     """Master metadata persisted in the shared database."""
 
     next_branch_id: int = 1
     branches: dict[str, BranchRecord] = field(default_factory=dict)
     seen_queries: set[int] = field(default_factory=set)
+    #: In-flight live migration (None when the layout is settled).
+    migration: MigrationRecord | None = None
+    #: True between PauseIngest and the stop-the-world rebalance: a
+    #: recovered master must send ResumeIngest or ingest stalls forever.
+    rebalance_pending: bool = False
 
 
 class Master(Actor):
@@ -82,6 +103,7 @@ class Master(Actor):
         self._rebalance_waiting = False
         self._last_rebalance = float("-inf")
         self.rebalances = 0
+        self.planner = MigrationPlanner(config)
         # Queries queued by admission control (in-memory: a master crash
         # drops them and the ingester's retransmissions re-enter them).
         self._query_backlog: list[QueryRequest] = []
@@ -98,6 +120,8 @@ class Master(Actor):
             return self._handle_query(payload)
         if isinstance(payload, ProcessorRecovered):
             return self._handle_processor_recovered(payload)
+        if isinstance(payload, MigrateDone):
+            return self._handle_migrate_done(payload)
         return self.config.master_cost
 
     # -------------------------------------------------------------- reports
@@ -133,12 +157,17 @@ class Master(Actor):
             self._busy[report.processor] = report.busy_time
             if report.hot_vertices:
                 self._hot[report.processor] = report.hot_vertices
+            self.planner.observe(report.processor, report.busy_time,
+                                 self.sim.now, report.vertex_load)
             self._maybe_rebalance()
         return self.config.master_cost
 
     # ---------------------------------------------------- load balancing
     def _maybe_rebalance(self) -> None:
         if not self.config.rebalance_enabled or self.partition is None:
+            return
+        if self.config.rebalance_mode == "live":
+            self._maybe_migrate()
             return
         if self._rebalance_waiting:
             # Waiting for the main loop to quiesce before moving state.
@@ -151,38 +180,98 @@ class Master(Actor):
         if any(not record.done
                for record in self.durable.branches.values()):
             return  # never move vertices under live branch loops
+        if self._busy_gap_exceeded():
+            self._rebalance_waiting = True
+            # Durable marker: a master crash between here and the
+            # rebalance must not leave the ingester paused forever.
+            self.durable.rebalance_pending = True
+            self.transport.send(self.ingester_name, PauseIngest())
+
+    def _busy_gap_exceeded(self) -> bool:
         if len(self._busy) < len(self.processors):
-            return
+            return False
         hottest = max(self._busy.values())
         coldest = min(self._busy.values())
-        if (hottest - coldest > self.config.rebalance_min_gap
+        return (hottest - coldest > self.config.rebalance_min_gap
                 and hottest > self.config.rebalance_factor
-                * max(coldest, 1e-9)):
-            self._rebalance_waiting = True
-            self.transport.send(self.ingester_name, PauseIngest())
+                * max(coldest, 1e-9))
 
     def _perform_rebalance(self) -> None:
         self._rebalance_waiting = False
+        self.durable.rebalance_pending = False
         self._last_rebalance = self.sim.now
-        hot_processor = max(self._busy, key=self._busy.get)
-        cold_processor = min(self._busy, key=self._busy.get)
-        moves = tuple(
-            (vertex, cold_processor)
-            for vertex in self._hot.get(hot_processor, ())
-            if self.partition.owner(vertex) == hot_processor)
+        # Re-validate on the stats as of *now*: the snapshot that armed
+        # the pause may be stale after the quiesce wait (e.g. a processor
+        # crashed meanwhile and its counters were invalidated).
+        moves: tuple = ()
+        if self._busy_gap_exceeded():
+            hot_processor = max(self._busy, key=self._busy.get)
+            cold_processor = min(self._busy, key=self._busy.get)
+            moves = tuple(
+                (vertex, hot_processor, cold_processor)
+                for vertex in self._hot.get(hot_processor, ())
+                if self.partition.owner(vertex) == hot_processor)
         if moves:
-            for vertex, new_owner in moves:
-                self.partition.reassign(vertex, new_owner)
+            self.partition.reassign_batch(
+                [(vertex, target) for vertex, _source, target in moves])
             self.rebalances += 1
             self.sim.metrics.counter("core.rebalances").inc()
             if self.sim.trace.enabled:
                 self.sim.trace.record(self.sim.now, "loop", "rebalance",
                                       actor=self.name,
                                       moves=len(moves),
-                                      source=hot_processor,
-                                      target=cold_processor)
-            self._broadcast(Repartition(self.partition.version, moves))
+                                      epoch=self.partition.epoch)
+            self._broadcast(Repartition(self.partition.epoch, moves))
         self.transport.send(self.ingester_name, ResumeIngest())
+
+    # ---------------------------------------------------- live migration
+    def _maybe_migrate(self) -> None:
+        if self.durable.migration is not None:
+            return  # one migration in flight at a time
+        if self.sim.now - self._last_rebalance < \
+                self.config.rebalance_cooldown:
+            return
+        if any(not record.done
+               for record in self.durable.branches.values()):
+            return  # never move vertices under live branch loops
+        moves = self.planner.plan(self.processors, self.partition.owner)
+        if not moves:
+            return
+        epoch = self.partition.reassign_batch(
+            [(vertex, target) for vertex, _source, target in moves])
+        self.partition.mark_migrating(epoch, moves)
+        self.durable.migration = MigrationRecord(epoch, moves)
+        self.rebalances += 1
+        self._last_rebalance = self.sim.now
+        self.sim.metrics.counter("core.migrations").inc()
+        self.sim.metrics.counter("core.vertices_migration_planned").inc(
+            len(moves))
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "migration", "plan",
+                                  actor=self.name, moves=len(moves),
+                                  epoch=epoch)
+        self._broadcast(Repartition(epoch, moves), tag="migration")
+
+    def _handle_migrate_done(self, msg: MigrateDone) -> float:
+        record = self.durable.migration
+        if record is None or msg.epoch != record.epoch:
+            return self.config.master_cost
+        record.done.update(msg.vertices)
+        if record.complete:
+            self.durable.migration = None
+            # Adopters clear their own entries; sweep any leftovers from
+            # handoffs the layout outran.
+            self.partition.clear_migrating_epoch(record.epoch)
+            self._last_rebalance = self.sim.now
+            self.sim.metrics.counter("core.migrations_completed").inc()
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, "migration",
+                                      "complete", actor=self.name,
+                                      epoch=record.epoch,
+                                      moves=len(record.moves))
+            # Queries deferred while vertices were in flight can fork now.
+            self._drain_query_backlog()
+        return self.config.master_cost
 
     def _make_tracker(self, loop: str) -> ProgressTracker:
         tracker = ProgressTracker(loop, self.processors)
@@ -197,6 +286,13 @@ class Master(Actor):
 
     def _handle_query(self, query: QueryRequest) -> float:
         if query.query_id in self.durable.seen_queries:
+            return self.config.master_cost
+        if self.durable.migration is not None:
+            # A branch forked mid-handoff would snapshot a main loop with
+            # vertices owned by nobody; defer until the layout settles.
+            if all(q.query_id != query.query_id
+                   for q in self._query_backlog):
+                self._query_backlog.append(query)
             return self.config.master_cost
         if self._active_branch_count() >= \
                 self.config.max_concurrent_branches:
@@ -273,8 +369,13 @@ class Master(Actor):
             issued_at=record.issued_at,
         ))
         # A slot opened up: admit the oldest queued query, if any.
-        if self._query_backlog and self._active_branch_count() < \
-                self.config.max_concurrent_branches:
+        self._drain_query_backlog()
+
+    def _drain_query_backlog(self) -> None:
+        while (self._query_backlog
+               and self.durable.migration is None
+               and self._active_branch_count()
+               < self.config.max_concurrent_branches):
             self._start_branch(self._query_backlog.pop(0))
 
     # ------------------------------------------------------------ recovery
@@ -286,6 +387,11 @@ class Master(Actor):
                                   processor=msg.processor)
         for tracker in self.trackers.values():
             tracker.forget_all()
+        # Its busy counter restarted and its hot set is gone: stale load
+        # snapshots must not drive the next rebalance decision.
+        self._busy.pop(msg.processor, None)
+        self._hot.pop(msg.processor, None)
+        self.planner.forget(msg.processor)
         loops = [(MAIN_LOOP, self.manifest.restart_iteration(MAIN_LOOP))]
         for loop, record in self.durable.branches.items():
             if not record.done:
@@ -311,11 +417,58 @@ class Master(Actor):
         # died with the crash and nothing else will resend them.
         self.transport.send(self.ingester_name,
                             PeerRecovered(msg.processor))
+        self._complete_migration_for(msg.processor)
+        if self.durable.migration is not None:
+            # A crash can swallow a handoff notice (e.g. the target died
+            # with an unacknowledged MigrateDone in its transport).
+            # Re-drive the round: sources re-release what they no longer
+            # hold (an empty-handed MigrateState) and targets re-confirm
+            # what they already adopted — both sides are idempotent.
+            record = self.durable.migration
+            self._broadcast(Repartition(record.epoch, record.moves),
+                            tag="migration")
         return self.config.master_cost
+
+    def _complete_migration_for(self, crashed: str) -> None:
+        """Administratively finish in-flight moves whose source died: the
+        source's live copy is gone, but its last committed version is in
+        the shared store, so the target can adopt from there.  The work
+        the source gathered for those vertices and never committed is
+        re-derived the same way plain crash recovery re-derives it — the
+        ingester replays its journal and peers re-scatter, aimed at the
+        *adopting* processor."""
+        record = self.durable.migration
+        if record is None:
+            return
+        pending: dict[str, list[Any]] = {}
+        for vertex, source, target in record.moves:
+            if vertex not in record.done and source == crashed:
+                pending.setdefault(target, []).append(vertex)
+        for target in sorted(pending):
+            vertices = pending[target]
+            self.transport.send(target, MigrateState(
+                record.epoch,
+                tuple((vertex, True) for vertex in vertices)),
+                tag="migration")
+            self.transport.send(self.ingester_name, PeerRecovered(target))
+            for peer in self.processors:
+                if peer != target:
+                    self.transport.send(peer, PeerRecovered(target))
+            if self.sim.trace.enabled:
+                self.sim.trace.record(self.sim.now, "migration",
+                                      "admin_complete", actor=self.name,
+                                      source=crashed, target=target,
+                                      vertices=len(vertices))
 
     def on_failure(self) -> None:
         self.transport.clear()
         self.trackers = {}
+        # Load stats and the pause-mode state machine are in-memory only;
+        # a restarted master restarts the observation window from scratch.
+        self._rebalance_waiting = False
+        self._busy = {}
+        self._hot = {}
+        self.planner = MigrationPlanner(self.config)
 
     def on_recover(self) -> None:
         """Rebuild from durable state; cumulative processor reports will
@@ -328,8 +481,21 @@ class Master(Actor):
             last = self.manifest.restart_iteration(loop)
             if last >= 0:
                 self._broadcast(IterationTerminated(loop, last))
+        if self.durable.rebalance_pending:
+            # Crashed between PauseIngest and the rebalance itself: the
+            # pause state machine died with us, so unblock ingest.
+            self.durable.rebalance_pending = False
+            self._rebalance_waiting = False
+            self.transport.send(self.ingester_name, ResumeIngest())
+        migration = self.durable.migration
+        if migration is not None:
+            # Re-drive the in-flight handoff: the notice is idempotent on
+            # both sides (sources re-release what they still hold, targets
+            # re-confirm what they already adopted).
+            self._broadcast(Repartition(migration.epoch, migration.moves),
+                            tag="migration")
 
     # -------------------------------------------------------------- helpers
-    def _broadcast(self, payload: Any) -> None:
+    def _broadcast(self, payload: Any, tag: str | None = None) -> None:
         for processor in self.processors:
-            self.transport.send(processor, payload)
+            self.transport.send(processor, payload, tag=tag)

@@ -88,8 +88,12 @@ class ProgressReport:
     #: acknowledged (snapshot taken before the report is enqueued).  Zero
     #: everywhere + idle watermarks + empty delay buffers = quiescence.
     unacked: int = 0
-    #: Updates parked by the delay bound on this processor.
+    #: Updates parked by the delay bound on this processor (plus, on the
+    #: main loop, gathers buffered for vertices migrating in).
     buffered: int = 0
+    #: Top-K ``(vertex, weight)`` gather-volume pairs since the last
+    #: report — the migration planner's per-vertex cost signal (§5.1).
+    vertex_load: tuple = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -168,11 +172,33 @@ class ResumeIngest:
 
 @dataclass(frozen=True, slots=True)
 class Repartition:
-    """Master -> processors: the partition scheme changed; hand the moved
-    vertices over (their state travels through the shared store)."""
+    """Master -> processors: the partition scheme changed at ``epoch``;
+    hand the moved vertices over (their state travels through the shared
+    store).  ``moves`` is ``((vertex, source, target), ...)``; receivers
+    fence notices whose epoch is older than one they already applied."""
 
-    version: int
-    moves: tuple[tuple[Any, str], ...]
+    epoch: int
+    moves: tuple[tuple[Any, str, str], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class MigrateState:
+    """Source -> target processor: the listed vertices of the main loop
+    are released — their freshest versioned state is in the shared store;
+    ``vertices`` is ``((vertex, active), ...)`` where ``active`` means the
+    vertex still had dirty/pending work and must be re-activated."""
+
+    epoch: int
+    vertices: tuple[tuple[Any, bool], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class MigrateDone:
+    """Target processor -> master: the listed vertices were adopted and
+    their buffered in-flight gathers replayed; the move is complete."""
+
+    epoch: int
+    vertices: tuple[Any, ...]
 
 
 @dataclass(frozen=True, slots=True)

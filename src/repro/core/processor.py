@@ -20,7 +20,8 @@ from repro.core.config import TornadoConfig
 from repro.core.lamport import LamportClock
 from repro.core.messages import (MAIN_LOOP, Acknowledge, Envelope,
                                  ForkBranch, IterationTerminated,
-                                 MergeBranch, PeerRecovered, Prepare,
+                                 MergeBranch, MigrateDone, MigrateState,
+                                 PeerRecovered, Prepare,
                                  ProcessorRecovered, ProgressReport,
                                  RecoverLoops, Repartition, StopLoop,
                                  Unreliable, VertexInput, VertexUpdate)
@@ -65,6 +66,9 @@ class LoopState:
         self.changed_since_fork: set[Any] = set()
         # Per-vertex commits since the last progress report (load stats).
         self.recent_commit_counts: dict[Any, int] = {}
+        # Per-vertex gathers (inputs + updates) since the last report:
+        # the migration planner's message-volume signal.
+        self.recent_gather_counts: dict[Any, int] = {}
         self.pending_flush = 0
         self._buffer_seq = itertools.count()
 
@@ -133,6 +137,22 @@ class Processor(Actor):
         self._m_commits = metrics.counter("core.commits")
         self._m_flushes = metrics.counter("core.checkpoint_flushes")
         self._g_delay_buffer = metrics.gauge(f"core.{name}.delay_buffer")
+        # ------------------------------------------------- live migration
+        # Vertices migrating out: vertex -> (epoch, target).  Session
+        # traffic for them is fenced here (handled locally, not forwarded)
+        # until the vertex is released.
+        self._outbound: dict[Any, tuple[int, str]] = {}
+        # Vertices migrating in: vertex -> (epoch, source).  Gathers for
+        # them are buffered until the source's MigrateState arrives; ACKs
+        # are forwarded back to the source (the producer's in-flight
+        # preparation still lives there).
+        self._inbound: dict[Any, tuple[int, str]] = {}
+        self._migration_buffer: dict[Any, list[Any]] = {}
+        # Highest partition epoch applied; older Repartition notices are
+        # fenced out.
+        self._partition_epoch = 0
+        self._m_migrated = metrics.counter("core.vertices_migrated")
+        self._g_migrating = metrics.gauge(f"core.{name}.migrating")
 
     # ----------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -153,7 +173,11 @@ class Processor(Actor):
         loop = getattr(payload, "loop", None)
         if loop is not None and loop != MAIN_LOOP:
             return 1
-        if isinstance(payload, (ForkBranch, MergeBranch, StopLoop)):
+        if isinstance(payload, (ForkBranch, MergeBranch, StopLoop,
+                                Repartition, MigrateState)):
+            # Migration control is also urgent: the sooner the fence is
+            # up (and the handoff adopted), the shorter the buffering
+            # window for in-flight gathers.
             return 1
         return 0
 
@@ -182,6 +206,8 @@ class Processor(Actor):
             return self._handle_recover_loops(payload)
         if isinstance(payload, Repartition):
             return self._handle_repartition(payload)
+        if isinstance(payload, MigrateState):
+            return self._handle_migrate_state(payload)
         if isinstance(payload, PeerRecovered):
             return self._handle_peer_recovered(payload)
         return self.config.control_cost
@@ -203,6 +229,12 @@ class Processor(Actor):
           value (the paper's message replay, end to end).
         """
         cost = self.config.control_cost
+        # Unacked PREPAREs addressed to the dead peer must not retransmit
+        # later: the peer's dedup window died with it, so the copy would
+        # land as fresh — and a stale PREPARE arriving after its producer
+        # committed leaves a ghost prepare_list entry nothing ever clears.
+        # Live rounds re-send theirs below.
+        self.transport.purge_unacked(msg.processor, (Prepare,))
         for loop in self.loops.values():
             for vertex_id, state in loop.vertices.items():
                 if any(self.partition.owner(target) == msg.processor
@@ -234,8 +266,52 @@ class Processor(Actor):
         owner = self.partition.owner(vertex_id)
         if owner == self.name:
             return False
+        if (vertex_id in self._outbound
+                and getattr(payload, "loop", None) == MAIN_LOOP):
+            # Migration fence: the vertex is ours until it is released
+            # (its handoff waits for the in-flight preparation), so its
+            # session traffic is still ours to run.
+            return False
         self.transport.send(owner, payload,
                             tag=getattr(payload, "loop", None))
+        return True
+
+    def _buffer_if_migrating_in(self, vertex_id: Any, payload: Any) -> bool:
+        """Hold main-loop *gather* traffic for a vertex migrating in until
+        the handoff (MigrateState) arrives, then replay it.  Only gathers
+        (inputs and already-committed updates) are safe to hold — no
+        sender blocks on them.  Preparation traffic is forwarded to the
+        migration source instead, where the live copy still runs: a held
+        ACK would deadlock the source's own commit, and a held Prepare
+        would deadlock its producer, who may be owed an immediate ACK by
+        the Lamport order — the very ACK the source's commit (and hence
+        the release this buffer waits for) depends on."""
+        if getattr(payload, "loop", None) != MAIN_LOOP:
+            return False
+        entry = self._inbound.get(vertex_id)
+        if entry is None:
+            # The shared scheme may know of a handoff racing toward us
+            # whose Repartition notice has not landed here yet; without
+            # this check a gather outrunning the notice would materialise
+            # the vertex from its last *committed* version and the
+            # source's release would be silently ignored.
+            main = self.loops.get(MAIN_LOOP)
+            source = self.partition.migration_source(vertex_id)
+            if (source is None
+                    or self.partition.migrating_to(vertex_id) != self.name
+                    or (main is not None and vertex_id in main.vertices)):
+                return False
+            entry = (self._partition_epoch, source)
+            self._inbound[vertex_id] = entry
+            self._g_migrating.set(len(self._outbound) + len(self._inbound))
+        if isinstance(payload, (Acknowledge, Prepare)):
+            self.transport.send(entry[1], payload, tag=MAIN_LOOP)
+            return True
+        self._migration_buffer.setdefault(vertex_id, []).append(payload)
+        if self._trace.enabled:
+            self._trace.record(self.sim.now, "migration", "buffered",
+                               actor=self.name, vertex=str(vertex_id),
+                               depth=len(self._migration_buffer[vertex_id]))
         return True
 
     # ------------------------------------------------------------ vertices
@@ -275,6 +351,8 @@ class Processor(Actor):
     def _handle_input(self, msg: VertexInput) -> float:
         if self._forward_if_not_owner(msg.vertex, msg):
             return self.config.control_cost
+        if self._buffer_if_migrating_in(msg.vertex, msg):
+            return self.config.control_cost
         # Orphan (don't drop) inputs that race RecoverLoops after a crash:
         # the ingester's replayed journal may beat the master's recovery
         # notice to a just-restarted processor.
@@ -299,6 +377,9 @@ class Processor(Actor):
         protocol.gathered_input(loop.frontier, changed)
         loop.inputs_gathered += 1
         loop.changed_since_fork.add(msg.vertex)
+        if loop.is_main:
+            loop.recent_gather_counts[msg.vertex] = (
+                loop.recent_gather_counts.get(msg.vertex, 0) + 1)
         cost = self.app.program.gather_cost(ctx, None, delta)
         if cost is None:
             cost = self.config.gather_cost
@@ -307,6 +388,8 @@ class Processor(Actor):
     # ------------------------------------------------------------- updates
     def _handle_update(self, msg: VertexUpdate) -> float:
         if self._forward_if_not_owner(msg.consumer, msg):
+            return self.config.control_cost
+        if self._buffer_if_migrating_in(msg.consumer, msg):
             return self.config.control_cost
         loop = self._loop_or_orphan(msg.loop, msg)
         if loop is None:
@@ -330,6 +413,9 @@ class Processor(Actor):
         ctx = VertexContext(state, loop.name, protocol.iteration)
         changed = self.app.program.gather(ctx, msg.producer, msg.data)
         protocol.gathered_update(msg.producer, msg.iteration, changed)
+        if loop.is_main:
+            loop.recent_gather_counts[msg.consumer] = (
+                loop.recent_gather_counts.get(msg.consumer, 0) + 1)
         loop.counter(msg.iteration)[2] += 1
         loop.gathered_total += 1
         self.total_updates_gathered += 1
@@ -347,6 +433,8 @@ class Processor(Actor):
     def _handle_prepare(self, msg: Prepare) -> float:
         if self._forward_if_not_owner(msg.consumer, msg):
             return self.config.control_cost
+        if self._buffer_if_migrating_in(msg.consumer, msg):
+            return self.config.control_cost
         loop = self._loop_or_orphan(msg.loop, msg)
         if loop is None:
             return self.config.control_cost
@@ -358,6 +446,8 @@ class Processor(Actor):
 
     def _handle_ack(self, msg: Acknowledge) -> float:
         if self._forward_if_not_owner(msg.producer, msg):
+            return self.config.control_cost
+        if self._buffer_if_migrating_in(msg.producer, msg):
             return self.config.control_cost
         loop = self.loops.get(msg.loop)
         if loop is None:
@@ -452,6 +542,9 @@ class Processor(Actor):
             protocol = loop.protocols[vertex_id]
             for msg in deferred:
                 cost += self._apply_input(loop, state, protocol, msg)
+        if loop.is_main and self._outbound:
+            # A commit ends the preparation that blocked a handoff.
+            cost += self._release_ready_vertices(loop)
         return cost
 
     # ---------------------------------------------------------- frontier
@@ -630,32 +723,132 @@ class Processor(Actor):
                     cost += self._try_prepare(main, vertex_id)
         return cost
 
-    # -------------------------------------------------------- rebalancing
+    # ---------------------------------------------------- live migration
     def _handle_repartition(self, msg: Repartition) -> float:
-        """Hand moved vertices over: the old owner flushes its freshest
-        state into the store and forgets the vertex; the new owner adopts
-        lazily through :meth:`_ensure_vertex` (store-seeded) when the
-        first message for the vertex arrives."""
+        """The partition scheme changed at ``msg.epoch``.  As the source
+        of a move, fence the vertex (its session traffic stays ours) and
+        release it as soon as it is not mid-prepare; as the target, start
+        buffering its in-flight gathers until the handoff arrives."""
+        cost = self.config.control_cost
+        if msg.epoch < self._partition_epoch:
+            return cost  # stale notice from an older layout
         main = self.loops.get(MAIN_LOOP)
         if main is None:
-            return self.config.control_cost
-        cost = self.config.control_cost
-        for vertex_id, new_owner in msg.moves:
-            if new_owner == self.name:
+            # Racing RecoverLoops on a fresh restart: replay once the
+            # main loop is rebuilt.
+            self._orphans.setdefault(MAIN_LOOP, []).append(msg)
+            return cost
+        self._partition_epoch = msg.epoch
+        for vertex_id, source, target in msg.moves:
+            if source == target:
+                continue
+            if target == self.name:
+                if vertex_id not in main.vertices:
+                    # Not adopted yet: buffer gathers until MigrateState.
+                    self._inbound[vertex_id] = (msg.epoch, source)
+            elif source == self.name:
+                self._outbound[vertex_id] = (msg.epoch, target)
+        cost += self._release_ready_vertices(main)
+        self._g_migrating.set(len(self._outbound) + len(self._inbound))
+        return cost
+
+    def _release_ready_vertices(self, main: LoopState) -> float:
+        """Hand over every outbound vertex that is not mid-prepare: flush
+        its freshest state to the shared store, drop the local copy, and
+        tell the new owner (MigrateState) it may adopt.  Vertices still
+        preparing are released by the commit that ends the preparation —
+        releasing earlier would strand the consumers whose ACKs the
+        preparation is waiting for."""
+        cost = 0.0
+        by_target: dict[str, list[tuple[Any, bool]]] = {}
+        for vertex_id, (_epoch, target) in list(self._outbound.items()):
+            protocol = main.protocols.get(vertex_id)
+            if protocol is not None and protocol.preparing:
                 continue
             state = main.vertices.pop(vertex_id, None)
             main.protocols.pop(vertex_id, None)
             main.recent_commit_counts.pop(vertex_id, None)
-            if state is None:
-                continue
-            version = (self.app.program.snapshot_value(state.value),
-                       frozenset(state.targets))
-            self.store.put(MAIN_LOOP, vertex_id,
-                           max(state.last_commit_iteration, main.frontier),
-                           version)
-            main.pending_flush += 1
-            cost += 2e-6
+            main.recent_gather_counts.pop(vertex_id, None)
+            active = False
+            if state is not None:
+                active = protocol.dirty
+                version = (self.app.program.snapshot_value(state.value),
+                           frozenset(state.targets))
+                iteration = max(state.last_commit_iteration, main.frontier)
+                if active:
+                    # Uncommitted gathered deltas ride along in the value.
+                    self.store.put(MAIN_LOOP, vertex_id, iteration, version)
+                else:
+                    # Delta handoff: the last commit is already durable;
+                    # only write when the chain does not cover it.
+                    self.store.put_if_newer(MAIN_LOOP, vertex_id,
+                                            iteration, version)
+                main.pending_flush += 1
+                cost += 2e-6
+            # Inputs deferred during an earlier preparation follow the
+            # vertex (they re-enter through the new owner's buffer).
+            for msg in main.buffered_inputs.pop(vertex_id, []):
+                active = True
+                self.transport.send(target, msg, tag=MAIN_LOOP)
+                cost += self.config.control_cost
+            del self._outbound[vertex_id]
+            by_target.setdefault(target, []).append((vertex_id, active))
+        for target in sorted(by_target):
+            vertices = by_target[target]
+            self.transport.send(target, MigrateState(
+                self._partition_epoch, tuple(vertices)), tag="migration")
+            self._m_migrated.inc(len(vertices))
+            cost += self.config.control_cost
+            if self._trace.enabled:
+                self._trace.record(self.sim.now, "migration",
+                                   "migrate_out", actor=self.name,
+                                   target=target, vertices=len(vertices))
+        self._g_migrating.set(len(self._outbound) + len(self._inbound))
         return cost
+
+    def _handle_migrate_state(self, msg: MigrateState) -> float:
+        """Adopt migrated vertices: seed from their freshest store
+        version, re-activate the ones the source still had work for, and
+        replay the gathers buffered while the handoff was in flight."""
+        main = self.loops.get(MAIN_LOOP)
+        if main is None:
+            self._orphans.setdefault(MAIN_LOOP, []).append(msg)
+            return self.config.control_cost
+        cost = self.config.control_cost
+        adopted = []
+        for vertex_id, active in msg.vertices:
+            self._inbound.pop(vertex_id, None)
+            self.partition.clear_migrating(vertex_id, msg.epoch)
+            if self.partition.owner(vertex_id) != self.name:
+                # The layout moved on while the handoff was in flight;
+                # the current owner adopts from the store on contact.
+                for buffered in self._migration_buffer.pop(vertex_id, []):
+                    self.deliver(buffered, self.name)
+                continue
+            _state, protocol = self._ensure_vertex(main, vertex_id)
+            if active:
+                protocol.dirty = True
+            adopted.append(vertex_id)
+            cost += 2e-6
+            for buffered in self._migration_buffer.pop(vertex_id, []):
+                self.deliver(buffered, self.name)
+        for vertex_id in adopted:
+            protocol = main.protocols[vertex_id]
+            if protocol.dirty and not protocol.preparing:
+                cost += self._try_prepare(main, vertex_id)
+        self.transport.send(self.master_name, MigrateDone(
+            msg.epoch, tuple(vertex for vertex, _active in msg.vertices)))
+        self._g_migrating.set(len(self._outbound) + len(self._inbound))
+        if self._trace.enabled:
+            self._trace.record(self.sim.now, "migration", "migrate_in",
+                               actor=self.name, vertices=len(msg.vertices))
+        return cost
+
+    @property
+    def migration_idle(self) -> bool:
+        """No handoff in progress on this processor."""
+        return not (self._outbound or self._inbound
+                    or self._migration_buffer)
 
     # ---------------------------------------------------------- reporting
     def _report_tick(self) -> None:
@@ -681,12 +874,29 @@ class Processor(Actor):
         for loop in self.loops.values():
             self._report_seq += 1
             hot: tuple = ()
+            vertex_load: tuple = ()
+            unacked = self.transport.pending_by_tag.get(loop.name, 0)
+            buffered = len(loop.buffered_updates)
             if loop.is_main and loop.recent_commit_counts:
                 ranked = sorted(loop.recent_commit_counts,
                                 key=loop.recent_commit_counts.get,
                                 reverse=True)
                 hot = tuple(ranked[:3])
                 loop.recent_commit_counts = {}
+            if loop.is_main:
+                if loop.recent_gather_counts:
+                    counts = loop.recent_gather_counts
+                    ranked = sorted(counts,
+                                    key=lambda v: (-counts[v], str(v)))
+                    top = ranked[:self.config.migration_report_top_k]
+                    vertex_load = tuple((v, counts[v]) for v in top)
+                    loop.recent_gather_counts = {}
+                # In-flight handoff traffic blocks main-loop convergence
+                # the same way unacked session messages do.
+                unacked += self.transport.pending_by_tag.get(
+                    "migration", 0)
+                buffered += sum(len(held) for held
+                                in self._migration_buffer.values())
             snapshots.append(ProgressReport(
                 loop=loop.name,
                 processor=self.name,
@@ -696,8 +906,9 @@ class Processor(Actor):
                 inputs_gathered=loop.inputs_gathered,
                 busy_time=self.busy_time,
                 hot_vertices=hot,
-                unacked=self.transport.pending_by_tag.get(loop.name, 0),
-                buffered=len(loop.buffered_updates),
+                unacked=unacked,
+                buffered=buffered,
+                vertex_load=vertex_load,
             ))
             total_pending += loop.pending_flush
             loop.pending_flush = 0
@@ -733,6 +944,12 @@ class Processor(Actor):
         self._orphans = {}
         self._report_timer_running = False
         self._flush_in_flight = False
+        # Migration fences die with the in-memory state they protected;
+        # the master re-drives any in-flight handoff we were part of.
+        self._outbound = {}
+        self._inbound = {}
+        self._migration_buffer = {}
+        self._g_migrating.set(0)
 
     def on_recover(self) -> None:
         self.transport.send(self.master_name,

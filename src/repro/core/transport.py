@@ -174,6 +174,32 @@ class ReliableEndpoint:
             return message.payload
         return message
 
+    def purge_unacked(self, dst: str, kinds: tuple[type, ...]) -> int:
+        """Stop retransmitting unacknowledged messages of the given
+        payload types addressed to ``dst``.  Used when ``dst`` restarts:
+        its dedup window died with it, so a pre-crash envelope would be
+        re-delivered as *fresh* — and a stale PREPARE landing after its
+        producer committed wedges the consumer forever (nothing ever
+        clears the ghost ``prepare_list`` entry).  The recovery protocol
+        re-sends every still-live PREPARE explicitly."""
+        purged = 0
+        for msg_id, (dest, payload) in list(self._outbox.items()):
+            if dest != dst or not isinstance(payload, kinds):
+                continue
+            del self._outbox[msg_id]
+            timer = self._timers.pop(msg_id, None)
+            if timer is not None:
+                timer.cancel()
+            tag = self._tags.pop(msg_id, None)
+            if tag is not None:
+                remaining = self.pending_by_tag.get(tag, 0) - 1
+                if remaining > 0:
+                    self.pending_by_tag[tag] = remaining
+                else:
+                    self.pending_by_tag.pop(tag, None)
+            purged += 1
+        return purged
+
     # ------------------------------------------------------------ lifecycle
     def clear(self) -> None:
         """Drop all transport state (crash semantics)."""

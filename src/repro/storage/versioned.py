@@ -76,6 +76,21 @@ class VersionedStore:
             chain = self._chains[(loop, key)] = _Chain()
         chain.put(iteration, value)
 
+    def put_if_newer(self, loop: str, key: Any, iteration: int,
+                     value: Any) -> bool:
+        """Write only when no version at ≥ ``iteration`` exists yet — the
+        delta-handoff write used by live migration (the source flushes its
+        freshest state once; redundant re-releases after recovery must not
+        roll a newer committed version back).  Returns whether it wrote."""
+        if iteration < 0:
+            raise StorageError(f"negative iteration: {iteration}")
+        chain = self._chains.get((loop, key))
+        if chain is not None and chain.iterations \
+                and chain.iterations[-1] >= iteration:
+            return False
+        self.put(loop, key, iteration, value)
+        return True
+
     # --------------------------------------------------------------- reads
     def get(self, loop: str, key: Any,
             max_iteration: int | None = None) -> Any:

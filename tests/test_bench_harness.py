@@ -73,4 +73,5 @@ class TestQuickExperiments:
         assert "table2" in experiments
         assert "fig5-sssp" in experiments
         assert "perf" in experiments
-        assert len(experiments) == 19
+        assert "skew" in experiments
+        assert len(experiments) == 20

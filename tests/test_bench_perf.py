@@ -15,7 +15,9 @@ class TestRunPerf:
     def test_report_shape_and_determinism(self, tmp_path):
         json_path = tmp_path / "BENCH_perf.json"
         result = run_perf(quick=True, json_path=str(json_path),
-                          steps=2_000, bursts=100, fig_scale=TINY)
+                          steps=2_000, bursts=100, fig_scale=TINY,
+                          skew_sizes=dict(n_vertices=60, n_edges=240,
+                                          rate=4000.0))
         report = json.loads(json_path.read_text(encoding="utf-8"))
         assert report["bench"] == "kernel_fast_path"
         assert len(report["scenarios"]) >= 3
@@ -29,7 +31,15 @@ class TestRunPerf:
         # The in-memory result mirrors the file.
         assert result.extras["report"] == report
         rows = {row["scenario"] for row in result.rows}
-        assert {"timer_churn", "cancel_churn", "coalesce_burst"} <= rows
+        assert {"timer_churn", "cancel_churn", "coalesce_burst",
+                "skew_live_vs_pause"} <= rows
+        # Skew is virtual time: shape and determinism hold at any size
+        # (the ≥2x ratio check is only meaningful at default sizes).
+        skew = report["skew"]
+        assert set(skew["modes"]) == {"none", "pause", "live"}
+        for mode, run in skew["modes"].items():
+            assert run["exact"], mode
+        assert skew["determinism"]["identical"]
 
     def test_compare_reports_renders_both_sides(self):
         scenario = {"legacy": {"events": 10, "wall_s": 1.0,

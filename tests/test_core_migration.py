@@ -1,0 +1,223 @@
+"""Integration tests for the live migration subsystem (paper §5.1 +
+R-Storm-style planning): handoff while the main loop runs, epoch fencing,
+and the rebalancer crash-interaction bug fixes."""
+
+import math
+
+from repro.algorithms.graph_common import EdgeStreamRouter
+from repro.algorithms.sssp import SSSPProgram, reference_sssp
+from repro.core import Application, TornadoConfig, TornadoJob
+from repro.core.messages import ProcessorRecovered
+from repro.streams import UniformRate, edge_stream
+
+EDGES = [(0, i) for i in range(1, 30)] + [(i, i + 1) for i in range(1, 29)]
+
+
+def make_job(skewed=True, **config_kwargs):
+    config_kwargs.setdefault("n_processors", 3)
+    config_kwargs.setdefault("report_interval", 0.01)
+    config_kwargs.setdefault("storage_backend", "memory")
+    config_kwargs.setdefault("rebalance_enabled", True)
+    config_kwargs.setdefault("rebalance_mode", "live")
+    config_kwargs.setdefault("rebalance_factor", 1.5)
+    config_kwargs.setdefault("rebalance_min_gap", 0.001)
+    config_kwargs.setdefault("rebalance_cooldown", 0.2)
+    app = Application(SSSPProgram(0), EdgeStreamRouter(), name="sssp")
+    job = TornadoJob(app, TornadoConfig(**config_kwargs))
+    if skewed:
+        # Pathological initial placement: everything on proc-0.
+        for vertex in range(30):
+            job.partition._overrides[vertex] = "proc-0"
+    return job
+
+
+def distances(values):
+    return {vid: v.distance for vid, v in values.items()
+            if not math.isinf(v.distance)}
+
+
+def reference():
+    return {v: d for v, d in reference_sssp(EDGES, 0).items()
+            if not math.isinf(d)}
+
+
+class TestLiveMigration:
+    def test_migrates_without_pausing_ingest(self):
+        job = make_job()
+        stream = edge_stream(EDGES, UniformRate(rate=300.0))
+        job.feed(stream)
+        job.run_for(4.0)
+        assert job.master.rebalances >= 1
+        # The whole point of live migration: ingest never stops.
+        assert job.ingester.pauses == 0
+        assert job.ingester.tuples_ingested == len(stream)
+        owners = {job.partition.owner(v) for v in range(30)}
+        assert owners != {"proc-0"}
+
+    def test_moves_are_batched(self):
+        """One migration round moves several vertices, not one hot pin."""
+        job = make_job()
+        job.feed(edge_stream(EDGES, UniformRate(rate=300.0)))
+        job.run_until(lambda: job.master.rebalances >= 1,
+                      max_events=20_000_000)
+        migrated = job.metrics.counter(
+            "core.vertices_migration_planned").value
+        assert migrated > 1
+
+    def test_results_exact_after_live_migration(self):
+        job = make_job()
+        job.feed(edge_stream(EDGES, UniformRate(rate=300.0)))
+        job.run_for(4.0)
+        assert job.master.rebalances >= 1
+        result = job.query_and_wait(full_activation=True)
+        assert distances(result.values) == reference()
+        # And the live approximation converged too (no gather lost to a
+        # stale owner).
+        job.run_until(job.quiescent, max_events=20_000_000)
+        assert distances(job.main_values()) == reference()
+
+    def test_migration_drains_to_idle(self):
+        """After the run no fence, buffer or in-flight handoff remains."""
+        job = make_job()
+        job.feed(edge_stream(EDGES, UniformRate(rate=300.0)))
+        job.run_for(4.0)
+        job.run_until(job.quiescent, max_events=20_000_000)
+        assert job.durable.migration is None
+        for processor in job.processors:
+            assert processor.migration_idle
+
+    def test_query_during_migration_is_deferred_not_lost(self):
+        job = make_job()
+        job.feed(edge_stream(EDGES, UniformRate(rate=300.0)))
+        job.run_until(lambda: job.durable.migration is not None,
+                      max_events=20_000_000)
+        assert job.durable.migration is not None
+        query_id = job.query(full_activation=True)
+        result = job.wait_for_query(query_id)
+        # The branch forked only after the layout settled, on whatever
+        # edge prefix had been ingested: every reported distance is a
+        # real path length, so it is bounded below by the full-graph
+        # reference (and vertex 0 is always exact).
+        full = reference()
+        for vertex, distance in distances(result.values).items():
+            assert distance >= full[vertex]
+        assert distances(result.values)[0] == 0
+
+    def test_epoch_advances_once_per_round(self):
+        job = make_job()
+        job.feed(edge_stream(EDGES, UniformRate(rate=300.0)))
+        job.run_for(4.0)
+        # One atomic epoch bump per migration round, however many
+        # vertices each round moved.
+        assert job.partition.epoch == job.master.rebalances
+
+    def test_same_seed_same_trace(self):
+        def run():
+            job = make_job(trace_enabled=True, seed=7)
+            job.feed(edge_stream(EDGES, UniformRate(rate=300.0)))
+            job.run_for(3.0)
+            return job.trace.digest()
+
+        assert run() == run()
+
+
+class TestMigrationUnderFailures:
+    def test_source_crash_mid_migration_stays_exact(self):
+        job = make_job()
+        job.feed(edge_stream(EDGES, UniformRate(rate=300.0)))
+        job.run_until(lambda: job.durable.migration is not None,
+                      max_events=20_000_000)
+        # Kill the hot source while its vertices are in flight.
+        job.failures.kill_now("proc-0", recover_after=0.3)
+        job.run_for(4.0)
+        job.run_until(job.quiescent, max_events=20_000_000)
+        assert job.durable.migration is None
+        assert distances(job.main_values()) == reference()
+
+    def test_target_crash_mid_migration_stays_exact(self):
+        job = make_job()
+        job.feed(edge_stream(EDGES, UniformRate(rate=300.0)))
+        job.run_until(lambda: job.durable.migration is not None,
+                      max_events=20_000_000)
+        record = job.durable.migration
+        target = record.moves[0][2]
+        job.failures.kill_now(target, recover_after=0.3)
+        job.run_for(4.0)
+        job.run_until(job.quiescent, max_events=20_000_000)
+        assert job.durable.migration is None
+        assert distances(job.main_values()) == reference()
+
+    def test_master_crash_mid_migration_completes(self):
+        job = make_job()
+        job.feed(edge_stream(EDGES, UniformRate(rate=300.0)))
+        job.run_until(lambda: job.durable.migration is not None,
+                      max_events=20_000_000)
+        job.failures.kill_now("master", recover_after=0.3)
+        job.run_for(4.0)
+        job.run_until(job.quiescent, max_events=20_000_000)
+        # The durable record let the restarted master re-drive the
+        # handoff to completion.
+        assert job.durable.migration is None
+        assert distances(job.main_values()) == reference()
+
+
+class TestPauseModeBugfixes:
+    def test_master_crash_mid_rebalance_resumes_ingest(self):
+        """Master dies after PauseIngest but before the rebalance: the
+        recovered master must release the ingester (the pending marker is
+        durable), or ingest stalls forever."""
+        job = make_job(rebalance_mode="pause")
+        stream = edge_stream(EDGES, UniformRate(rate=300.0))
+        job.feed(stream)
+        job.run_until(lambda: job.ingester.paused,
+                      max_events=20_000_000)
+        assert job.durable.rebalance_pending
+        job.failures.kill_now("master", recover_after=0.2)
+        job.run_for(4.0)
+        assert not job.ingester.paused
+        assert not job.durable.rebalance_pending
+        # Held tuples were released, none lost.
+        assert job.ingester.tuples_ingested == len(stream)
+
+    def test_pause_mode_still_rebalances(self):
+        job = make_job(rebalance_mode="pause")
+        job.feed(edge_stream(EDGES, UniformRate(rate=300.0)))
+        job.run_for(4.0)
+        assert job.master.rebalances >= 1
+        assert job.ingester.pauses >= 1
+        owners = {job.partition.owner(v) for v in range(30)}
+        assert owners != {"proc-0"}
+        approx = distances(job.main_values())
+        assert approx == reference()
+
+    def test_recovered_processor_stats_invalidated(self):
+        """A crashed-and-recovered processor's busy/hot snapshots are
+        stale (its counters restarted); the master must drop them."""
+        job = make_job()
+        job.feed(edge_stream(EDGES, UniformRate(rate=300.0)))
+        job.run_until(lambda: "proc-0" in job.master._busy
+                      and "proc-0" in job.master._hot,
+                      max_events=20_000_000)
+        job.master._handle_processor_recovered(
+            ProcessorRecovered("proc-0"))
+        assert "proc-0" not in job.master._busy
+        assert "proc-0" not in job.master._hot
+        assert "proc-0" not in job.master.planner._busy_rate
+
+    def test_perform_rebalance_revalidates_gap(self):
+        """If the gap no longer holds at perform time, no move happens —
+        but ingest is always resumed."""
+        job = make_job(rebalance_mode="pause")
+        master = job.master
+        master._rebalance_waiting = True
+        job.durable.rebalance_pending = True
+        master._busy = {"proc-0": 1.0, "proc-1": 1.0, "proc-2": 1.0}
+        master._hot = {"proc-0": (1, 2, 3)}
+        before = job.partition.epoch
+        master._perform_rebalance()
+        assert master.rebalances == 0
+        assert job.partition.epoch == before
+        assert not job.durable.rebalance_pending
+        # ResumeIngest went out regardless.
+        job.run_for(0.1)
+        assert not job.ingester.paused

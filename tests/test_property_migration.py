@@ -1,0 +1,243 @@
+"""Property-based tests for live-migration ownership safety.
+
+A miniature model of the processors' fence semantics runs against the
+*real* :class:`PartitionScheme` (epochs, in-flight marks, override
+eviction) under adversarial interleavings of batch migrations and
+gathers.  The claims: a gather is only ever applied by the unique holder
+of the vertex's live state (never by a stale owner that already released
+it, never prematurely materialised at a target while the source still
+holds it), every gather is applied exactly once, and the system drains —
+under any delivery order.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import PartitionScheme
+
+
+class ModelProcessor:
+    """The migration-relevant slice of a processor: which vertices it
+    holds live state for, its fences, and its adoption buffer."""
+
+    def __init__(self, name):
+        self.name = name
+        self.holds = set()
+        self.outbound = {}   # vertex -> target (fenced, not yet released)
+        self.inbound = {}    # vertex -> source (buffering until handoff)
+        self.buffer = {}     # vertex -> [gather ids]
+        self.epoch = 0
+
+
+class MigrationModel:
+    """Drives gathers and batch migrations through a random-order
+    message queue, checking ownership safety at every application."""
+
+    def __init__(self, n_processors, n_vertices, seed):
+        self.rng = random.Random(seed)
+        names = [f"p{i}" for i in range(n_processors)]
+        self.scheme = PartitionScheme(names)
+        self.procs = {name: ModelProcessor(name) for name in names}
+        self.vertices = list(range(n_vertices))
+        self.queue = []
+        self.applied = {}        # gather id -> processor that applied it
+        self.next_gather = 0
+        self.round_in_flight = False
+        self.released = set()    # (vertex, epoch) handoffs released
+
+    # ------------------------------------------------------------ checks
+    def holders(self, vertex):
+        return [p for p in self.procs.values() if vertex in p.holds]
+
+    def assert_apply_safe(self, proc, vertex, gather_id):
+        holding = self.holders(vertex)
+        assert holding == [proc], (
+            f"gather {gather_id} applied by {proc.name} but live state "
+            f"held by {[p.name for p in holding]}")
+        owns = self.scheme.owner(vertex) == proc.name
+        fenced = vertex in proc.outbound
+        assert owns or fenced, (
+            f"stale owner {proc.name} applied gather {gather_id} for "
+            f"{vertex} (owner={self.scheme.owner(vertex)})")
+
+    # ----------------------------------------------------------- actions
+    def send_gather(self, vertex):
+        gather_id = self.next_gather
+        self.next_gather += 1
+        self.queue.append(("gather", self.scheme.owner(vertex), vertex,
+                           gather_id))
+
+    def start_migration(self):
+        if self.round_in_flight:
+            return
+        count = self.rng.randrange(1, 4)
+        moves = []
+        seen = set()
+        for _ in range(count):
+            vertex = self.rng.choice(self.vertices)
+            if vertex in seen:
+                continue
+            seen.add(vertex)
+            source = self.scheme.owner(vertex)
+            targets = [n for n in self.procs if n != source]
+            moves.append((vertex, source, self.rng.choice(targets)))
+        if not moves:
+            return
+        epoch = self.scheme.reassign_batch(
+            [(vertex, target) for vertex, _source, target in moves])
+        self.scheme.mark_migrating(epoch, moves)
+        self.round_in_flight = True
+        for name in self.procs:
+            self.queue.append(("repartition", name, epoch, tuple(moves)))
+
+    # ---------------------------------------------------------- delivery
+    def apply_gather(self, proc, vertex, gather_id):
+        if vertex not in proc.holds:
+            # Materialising from the store is only legal when no other
+            # processor still runs the live copy.
+            assert not self.holders(vertex), (
+                f"{proc.name} materialised {vertex} while "
+                f"{[p.name for p in self.holders(vertex)]} held it")
+            proc.holds.add(vertex)
+        self.assert_apply_safe(proc, vertex, gather_id)
+        assert gather_id not in self.applied, (
+            f"gather {gather_id} applied twice")
+        self.applied[gather_id] = proc.name
+
+    def deliver(self, message):
+        kind = message[0]
+        if kind == "gather":
+            _kind, name, vertex, gather_id = message
+            proc = self.procs[name]
+            if vertex in proc.outbound and vertex in proc.holds:
+                self.apply_gather(proc, vertex, gather_id)  # fenced
+                return
+            owner = self.scheme.owner(vertex)
+            if owner != name:
+                self.queue.append(("gather", owner, vertex, gather_id))
+                return
+            if vertex in proc.inbound or (
+                    self.scheme.migrating_to(vertex) == name
+                    and vertex not in proc.holds):
+                if vertex not in proc.inbound:
+                    source = self.scheme.migration_source(vertex)
+                    proc.inbound[vertex] = source
+                proc.buffer.setdefault(vertex, []).append(gather_id)
+                return
+            self.apply_gather(proc, vertex, gather_id)
+        elif kind == "repartition":
+            _kind, name, epoch, moves = message
+            proc = self.procs[name]
+            if epoch < proc.epoch:
+                return
+            proc.epoch = epoch
+            for vertex, source, target in moves:
+                if target == name and vertex not in proc.holds:
+                    proc.inbound[vertex] = source
+                elif source == name:
+                    proc.outbound[vertex] = target
+                    # The release waits for any in-flight preparation;
+                    # model that window as one more queued message.
+                    self.queue.append(("release", name, vertex, epoch))
+        elif kind == "release":
+            _kind, name, vertex, epoch = message
+            proc = self.procs[name]
+            target = proc.outbound.pop(vertex, None)
+            if target is None:
+                return
+            proc.holds.discard(vertex)
+            key = (vertex, epoch)
+            if key not in self.released:
+                self.released.add(key)
+            self.queue.append(("migrate_state", target, vertex, epoch))
+        elif kind == "migrate_state":
+            _kind, name, vertex, epoch = message
+            proc = self.procs[name]
+            proc.inbound.pop(vertex, None)
+            self.scheme.clear_migrating(vertex, epoch)
+            held = proc.buffer.pop(vertex, [])
+            if self.scheme.owner(vertex) == name:
+                proc.holds.add(vertex)
+                for gather_id in held:
+                    self.apply_gather(proc, vertex, gather_id)
+            else:
+                for gather_id in held:
+                    self.queue.append(("gather",
+                                       self.scheme.owner(vertex),
+                                       vertex, gather_id))
+            if self.scheme.migrating_count() == 0:
+                self.round_in_flight = False
+
+    def step(self):
+        index = self.rng.randrange(len(self.queue))
+        self.deliver(self.queue.pop(index))
+
+    def run(self, operations):
+        for op in operations:
+            if op == "migrate":
+                self.start_migration()
+            else:
+                self.send_gather(op % len(self.vertices))
+            # Adversarial interleaving: deliver a random prefix now.
+            for _ in range(self.rng.randrange(0, 3)):
+                if self.queue:
+                    self.step()
+        steps = 0
+        while self.queue and steps < 50_000:
+            steps += 1
+            self.step()
+        assert steps < 50_000, "migration model did not drain"
+
+
+operations = st.lists(
+    st.one_of(st.just("migrate"),
+              st.integers(min_value=0, max_value=63)),
+    min_size=1, max_size=60)
+
+params = st.tuples(
+    st.integers(min_value=2, max_value=4),       # processors
+    st.integers(min_value=2, max_value=8),       # vertices
+    st.integers(min_value=0, max_value=2**32),   # interleaving seed
+    operations)
+
+
+class TestMigrationOwnershipProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(params)
+    def test_no_gather_reaches_a_stale_owner(self, args):
+        """Under any interleaving of batch migrations and gathers, every
+        gather is applied exactly once, by the unique live-state holder,
+        and never by a processor that already released the vertex."""
+        n_procs, n_vertices, seed, ops = args
+        model = MigrationModel(n_procs, n_vertices, seed)
+        model.run(ops)
+        gathers_sent = model.next_gather
+        assert len(model.applied) == gathers_sent
+        for proc in model.procs.values():
+            assert not proc.outbound, f"{proc.name} left fenced vertices"
+            assert not proc.inbound, f"{proc.name} left adoption entries"
+            assert not proc.buffer, f"{proc.name} left buffered gathers"
+            for vertex in proc.holds:
+                assert model.scheme.owner(vertex) == proc.name
+
+    @settings(max_examples=80, deadline=None)
+    @given(params)
+    def test_epoch_monotone_and_marks_drain(self, args):
+        """The scheme's epoch only moves forward, and every in-flight
+        mark is cleared once the handoffs settle."""
+        n_procs, n_vertices, seed, ops = args
+        model = MigrationModel(n_procs, n_vertices, seed)
+        epochs = [model.scheme.epoch]
+
+        original = model.start_migration
+
+        def tracking():
+            original()
+            epochs.append(model.scheme.epoch)
+
+        model.start_migration = tracking
+        model.run(ops)
+        assert epochs == sorted(epochs)
+        assert model.scheme.migrating_count() == 0
