@@ -10,7 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.vertex import VertexContext, VertexProgram
+import math
+
+from repro.core.vertex import VertexContext, VertexProgram, replace_update
 from repro.streams.model import ADD_EDGE, REMOVE_EDGE
 
 
@@ -23,6 +25,10 @@ class PageRankValue:
 
 class PageRankProgram(VertexProgram):
     """Damped PageRank with tolerance-based quiescence."""
+
+    # Contributions live in per-source slots; a window's newest
+    # contribution from a producer supersedes its earlier ones.
+    update_combiner = staticmethod(replace_update)
 
     def __init__(self, damping: float = 0.85,
                  tolerance: float = 1e-3) -> None:
@@ -53,8 +59,11 @@ class PageRankProgram(VertexProgram):
             value.contribs.pop(source, None)
         else:
             value.contribs[source] = contribution
+        # fsum: the exact sum rounded once, so the rank is independent of
+        # the order contributions arrived in (plain sum is not, which
+        # would make converged ranks depend on message interleaving).
         new_rank = (1.0 - self.damping
-                    + self.damping * sum(value.contribs.values()))
+                    + self.damping * math.fsum(value.contribs.values()))
         if abs(new_rank - value.rank) > self.tolerance:
             value.rank = new_rank
             return True

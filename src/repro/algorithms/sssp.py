@@ -13,7 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.vertex import VertexContext, VertexProgram
+from repro.core.vertex import VertexContext, VertexProgram, replace_update
 from repro.streams.model import ADD_EDGE, REMOVE_EDGE
 
 INF = math.inf
@@ -34,6 +34,11 @@ class SSSPValue:
 
 class SSSPProgram(VertexProgram):
     """Distance = min over producers of (their distance + edge weight)."""
+
+    # Gather replaces the per-producer offer slot, so only the newest
+    # offer in a dispatch window matters (min would swallow retractions:
+    # an INF offer after an edge delete must not lose to a stale one).
+    update_combiner = staticmethod(replace_update)
 
     def __init__(self, source: Any, max_distance: float = INF) -> None:
         """``max_distance`` caps path lengths: offers at or above it count

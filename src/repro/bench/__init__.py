@@ -3,6 +3,7 @@
 from repro.bench.ablations import (run_ablation_activation,
                                    run_ablation_sampling,
                                    run_ablation_storage)
+from repro.bench.delta import run_delta
 from repro.bench.fig5 import run_fig5
 from repro.bench.fig6 import run_fig6a, run_fig6b
 from repro.bench.fig7 import run_fig7a, run_fig7b
@@ -31,6 +32,7 @@ __all__ = [
     "run_ablation_activation",
     "run_ablation_sampling",
     "run_ablation_storage",
+    "run_delta",
     "run_failure_figure",
     "run_fig5",
     "run_fig6a",

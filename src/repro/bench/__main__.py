@@ -18,10 +18,10 @@ from typing import Callable
 
 from repro.bench import (MEDIUM, SMALL, run_ablation_activation,
                          run_ablation_sampling, run_ablation_storage,
-                         run_failure_figure, run_fig5, run_fig6a,
-                         run_fig6b, run_fig7a, run_fig7b, run_fig8a,
-                         run_fig8b, run_fig9, run_perf, run_skew,
-                         run_table1, run_table2, run_table3)
+                         run_delta, run_failure_figure, run_fig5,
+                         run_fig6a, run_fig6b, run_fig7a, run_fig7b,
+                         run_fig8a, run_fig8b, run_fig9, run_perf,
+                         run_skew, run_table1, run_table2, run_table3)
 from repro.bench.harness import ExperimentResult
 
 
@@ -48,10 +48,11 @@ def _experiments(scale, trace: bool = False, quick: bool = False
         "ablation-activation": lambda: run_ablation_activation(scale),
         "ablation-sampling": lambda: run_ablation_sampling(scale),
         "ablation-storage": lambda: run_ablation_storage(scale),
-        # Wall-clock kernel benchmarks; writes BENCH_perf.json.  Only
-        # runs when asked for by name (see main below): unlike the rest
-        # it measures the host machine, not the simulated cluster.
+        # Wall-clock benchmarks; write/merge BENCH_perf.json.  Only run
+        # when asked for by name (see main below): unlike the rest they
+        # measure the host machine, not the simulated cluster.
         "perf": lambda: run_perf(quick=quick),
+        "delta": lambda: run_delta(quick=quick),
     }
 
 
@@ -63,6 +64,7 @@ def main(argv: list[str]) -> int:
     experiments = _experiments(scale, trace=trace, quick=quick)
     if not wanted:
         experiments.pop("perf")
+        experiments.pop("delta")
     if wanted:
         unknown = [w for w in wanted
                    if not any(k.startswith(w) for k in experiments)]

@@ -1,0 +1,318 @@
+"""Delta-path benchmarks: sender-side combiners + batched scatter I/O +
+the versioned-store fast path, A/B-ed against the legacy one-envelope-
+per-value path (``delta_path=False``), which reproduces the pre-delta
+runtime message for message.
+
+Like :mod:`repro.bench.perf` this measures *wall-clock* throughput of the
+host kernel, not virtual time — but events here are **stream tuples
+ingested**, so the eps ratio is exactly the end-to-end wall-time ratio of
+the same workload on the two paths.
+
+Scenarios:
+
+* ``dense_scatter`` — PageRank (tolerance 0, exact ``fsum`` gather) on a
+  layered dense DAG at the default delay bound: every commit runs a full
+  PREPARE/ACK round fanned across a whole layer, so the session window's
+  per-destination batching (updates *and* prepares *and* acks in one
+  envelope) dominates.  Run to quiescence; the digest is over the exact
+  final ranks.
+* ``combine_slack`` — the same DAG under a small delay bound (the
+  skip-prepare regime of paper §4.4): commits are driven inline by input
+  bursts, so several same-(producer, consumer) scatters land in one
+  dispatch window and the sender-side combiner merges them.  At the
+  default bound the combiner structurally cannot fire — a second
+  same-pair commit inside one window would need a prepare round the
+  window itself flushes first — which is why merging gets its own
+  scenario.
+* ``branch_fork`` — SSSP over a churning edge stream (30% deletes) with
+  repeated full-activation branch-fork queries: exercises the store's
+  per-loop index and snapshot cache (fork reads), branch-loop batching,
+  and teardown.  Queries are issued only at main-loop quiescence, so
+  both paths fork from — and converge to — identical exact distances.
+
+Both digests must be byte-identical across the two paths (the delta path
+reorders and merges messages but may not change any converged result)::
+
+    python -m repro.bench delta [--quick]   # merges the "delta" section
+                                            # into BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable
+
+from repro.algorithms import PageRankProgram
+from repro.algorithms.graph_common import EdgeStreamRouter
+from repro.bench.harness import ExperimentResult
+from repro.bench.workloads import Scale, base_config, sssp_bundle
+from repro.core import Application, TornadoJob
+from repro.core.job import QueryResult
+from repro.streams import UniformRate, edge_stream
+
+#: Quick (CI smoke) and full scenario sizes.  dense_scatter is
+#: (layer width, #layers); branch_fork reuses the shared Scale knobs.
+QUICK_DAG = (12, 5)
+FULL_DAG = (24, 10)
+#: dense_scatter stream rate: fast enough that processors stay busy
+#: between protocol rounds — at low rates both paths spend their wall
+#: time in idle report flushes and the ratio measures nothing.
+DENSE_RATE = 1e5
+#: combine_slack: same DAG as QUICK_DAG but at a small delay bound and a
+#: gentler rate, putting commits in the skip-prepare regime where the
+#: sender-side combiner actually merges (see the module docstring).
+SLACK_DAG = (12, 5)
+SLACK_RATE = 2e4
+SLACK_BOUND = 4
+QUICK_FORK = Scale(n_vertices=120, n_edges=500, stream_rate=4000.0,
+                   seed=3)
+FULL_FORK = Scale(n_vertices=240, n_edges=1200, stream_rate=4000.0,
+                  seed=3)
+#: Wall-clock speedup floors: full-size committed numbers and the CI
+#: smoke (--quick) floor, which stays loose so load spikes on shared
+#: runners do not flake the job.  combine_slack only asserts
+#: no-regression — its point is merge correctness, not throughput.
+DENSE_FLOOR, FORK_FLOOR, QUICK_FLOOR, SLACK_FLOOR = 2.0, 1.5, 1.3, 1.0
+
+
+def _digest(items: dict[Any, float]) -> str:
+    payload = repr(sorted((str(key), value)
+                          for key, value in items.items()))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ------------------------------------------------------------- scenarios
+def _layered_dag(width: int, layers: int) -> list[tuple[int, int, float]]:
+    """Every vertex of layer k points at every vertex of layer k+1: the
+    densest scatter the router can produce, and (being acyclic) one on
+    which zero-tolerance PageRank provably quiesces."""
+    edges = []
+    for layer in range(layers - 1):
+        base, nxt = layer * width, (layer + 1) * width
+        for u in range(width):
+            for v in range(width):
+                edges.append((base + u, nxt + v, 1.0))
+    return edges
+
+
+def _dense_scatter_run(delta: bool, size: tuple[int, int],
+                       rate: float = DENSE_RATE,
+                       delay_bound: int | None = None):
+    width, layers = size
+    stream = edge_stream(_layered_dag(width, layers), UniformRate(rate))
+    app = Application(PageRankProgram(tolerance=0.0), EdgeStreamRouter(),
+                      name="pagerank")
+    config = base_config(delta_path=delta, seed=11)
+    if delay_bound is not None:
+        config.delay_bound = delay_bound
+    job = TornadoJob(app, config)
+
+    def run() -> tuple[TornadoJob, int, str]:
+        job.feed(stream)
+        total = len(stream)
+        job.run_until(lambda: job.ingester.tuples_ingested >= total)
+        job.run_until(lambda: job.quiescent(), max_events=100_000_000)
+        ranks = {vertex: value.rank
+                 for vertex, value in job.main_values().items()}
+        return job, total, _digest(ranks)
+
+    return run
+
+
+def _branch_fork_run(delta: bool, scale: Scale, queries: int = 3):
+    bundle = sssp_bundle(scale, delete_fraction=0.3, delta_path=delta,
+                         merge_policy="never", seed=13)
+    job = bundle.job
+
+    def run() -> tuple[TornadoJob, int, str]:
+        job.feed(bundle.stream)
+        total = len(bundle.stream)
+        distances: dict[Any, float] = {}
+        for index in range(1, queries + 1):
+            cutoff = total * index // queries
+            job.run_until(
+                lambda c=cutoff: job.ingester.tuples_ingested >= c)
+            # Quiesce first: only at a fixpoint is the forked snapshot
+            # (and hence the exact converged distances) path independent.
+            job.run_until(lambda: job.quiescent(),
+                          max_events=100_000_000)
+            result: QueryResult = job.query_and_wait(full_activation=True)
+            for vertex, value in result.values.items():
+                distances[f"q{index}:{vertex}"] = value.distance
+        return job, total, _digest(distances)
+
+    return run
+
+
+# ------------------------------------------------------------ measurement
+def _timed(runner: Callable[[], tuple[TornadoJob, int, str]]
+           ) -> dict[str, Any]:
+    started = time.perf_counter()
+    job, events, digest = runner()
+    wall = time.perf_counter() - started
+    return {"job": job, "events": events, "digest": digest,
+            "wall_s": wall,
+            "events_per_s": events / wall if wall > 0 else 0.0}
+
+
+def _delta_stats(job: TornadoJob) -> dict[str, float]:
+    """Combiner/batching/cache effectiveness of one delta-path run (all
+    deterministic replay facts, identical across repeats)."""
+    counters = {name: job.metrics.counter(f"core.{name}").value
+                for name in ("scatter_buffered", "scatter_merged",
+                             "scatter_batches", "scatter_batched_updates",
+                             "scatter_envelopes_saved")}
+    store = job.store
+    buffered = counters["scatter_buffered"]
+    cache_reads = store.cache_hits + store.cache_misses
+    return {
+        **counters,
+        "combine_hit_rate": (counters["scatter_merged"] / buffered
+                             if buffered else 0.0),
+        "store_cache_hits": store.cache_hits,
+        "store_cache_misses": store.cache_misses,
+        "store_cache_hit_rate": (store.cache_hits / cache_reads
+                                 if cache_reads else 0.0),
+        "store_rebases": store.rebases,
+        "store_reads": store.reads,
+        "store_internal_reads": store.internal_reads,
+    }
+
+
+def _ab(name: str, make: Callable[[bool], Callable],
+        repeats: int = 1) -> dict[str, Any]:
+    """A/B one scenario, alternating legacy/delta to decorrelate machine
+    drift; each side keeps its best run (wall noise only slows runs
+    down).  ``events_match`` also demands digest identity: same tuples
+    in, byte-identical converged results out, on every run of both
+    paths."""
+    legacy_runs, delta_runs = [], []
+    for _ in range(repeats):
+        legacy_runs.append(_timed(make(False)))
+        delta_runs.append(_timed(make(True)))
+    legacy = max(legacy_runs, key=lambda run: run["events_per_s"])
+    delta = max(delta_runs, key=lambda run: run["events_per_s"])
+    speedup = (delta["events_per_s"] / legacy["events_per_s"]
+               if legacy["events_per_s"] else 0.0)
+    matches = all(run["events"] == legacy["events"]
+                  and run["digest"] == legacy["digest"]
+                  for run in legacy_runs + delta_runs)
+    stats = _delta_stats(delta["job"])
+    strip = ("job",)
+    return {"name": name,
+            "legacy": {k: v for k, v in legacy.items() if k not in strip},
+            "delta": {k: v for k, v in delta.items() if k not in strip},
+            "speedup": speedup, "events_match": matches,
+            "digest": delta["digest"], "stats": stats}
+
+
+def run_delta(quick: bool = False,
+              json_path: str | None = "BENCH_perf.json",
+              *, dag_size: tuple[int, int] | None = None,
+              fork_scale: Scale | None = None,
+              queries: int | None = None) -> ExperimentResult:
+    """Run both scenarios delta-vs-legacy, merge the section into
+    ``json_path`` (preserving the kernel perf report already there) and
+    return the usual experiment report.  The keyword overrides shrink
+    scenarios below ``--quick`` size for the test suite."""
+    dag = dag_size or (QUICK_DAG if quick else FULL_DAG)
+    fork = fork_scale or (QUICK_FORK if quick else FULL_FORK)
+    n_queries = queries if queries is not None else (2 if quick else 3)
+    repeats = 1 if quick else 3
+
+    slack = dag_size or SLACK_DAG
+    scenarios = [
+        _ab("dense_scatter",
+            lambda delta: _dense_scatter_run(delta, dag),
+            repeats=repeats),
+        _ab("combine_slack",
+            lambda delta: _dense_scatter_run(delta, slack, SLACK_RATE,
+                                             SLACK_BOUND),
+            repeats=repeats),
+        _ab("branch_fork",
+            lambda delta: _branch_fork_run(delta, fork, n_queries),
+            repeats=repeats),
+    ]
+
+    result = ExperimentResult(
+        experiment="delta",
+        title="Delta path: tuples/sec wall-clock, delta vs legacy",
+        columns=["scenario", "tuples", "legacy_eps", "delta_eps",
+                 "speedup", "combine_rate", "cache_rate"],
+        notes=("events = stream tuples ingested (same workload both "
+               "sides), so eps ratio = end-to-end wall-time ratio; "
+               "legacy = delta_path=False"),
+    )
+    for scenario in scenarios:
+        result.add_row(scenario=scenario["name"],
+                       tuples=scenario["delta"]["events"],
+                       legacy_eps=scenario["legacy"]["events_per_s"],
+                       delta_eps=scenario["delta"]["events_per_s"],
+                       speedup=scenario["speedup"],
+                       combine_rate=scenario["stats"]["combine_hit_rate"],
+                       cache_rate=scenario["stats"]
+                       ["store_cache_hit_rate"])
+    by_name = {s["name"]: s for s in scenarios}
+    result.check("identical digests, delta vs legacy, every scenario",
+                 all(s["events_match"] for s in scenarios),
+                 ", ".join(f"{s['name']}={s['digest'][:12]}…"
+                           for s in scenarios))
+    if quick:
+        result.check(
+            f"dense scatter ≥{QUICK_FLOOR}x on the delta path (smoke)",
+            by_name["dense_scatter"]["speedup"] >= QUICK_FLOOR,
+            f"speedup={by_name['dense_scatter']['speedup']:.2f}x")
+    else:
+        result.check(
+            f"dense scatter ≥{DENSE_FLOOR}x on the delta path",
+            by_name["dense_scatter"]["speedup"] >= DENSE_FLOOR,
+            f"speedup={by_name['dense_scatter']['speedup']:.2f}x")
+        result.check(
+            f"branch fork ≥{FORK_FLOOR}x on the delta path",
+            by_name["branch_fork"]["speedup"] >= FORK_FLOOR,
+            f"speedup={by_name['branch_fork']['speedup']:.2f}x")
+        result.check(
+            f"combine_slack ≥{SLACK_FLOOR}x (no regression)",
+            by_name["combine_slack"]["speedup"] >= SLACK_FLOOR,
+            f"speedup={by_name['combine_slack']['speedup']:.2f}x")
+    result.check("combiner fires in the skip-prepare regime",
+                 by_name["combine_slack"]["stats"]["scatter_merged"] > 0)
+    result.check("fork reads hit the snapshot cache",
+                 by_name["branch_fork"]["stats"]["store_cache_hits"] > 0)
+
+    report = {
+        "bench": "delta_path",
+        "version": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "scenarios": {s["name"]: {k: s[k] for k in
+                                  ("legacy", "delta", "speedup",
+                                   "events_match", "digest", "stats")}
+                      for s in scenarios},
+    }
+    result.extras["report"] = report
+    if json_path is not None:
+        try:
+            with open(json_path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+        payload["delta"] = report
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return result
+
+
+def main(argv: list[str]) -> int:
+    result = run_delta(quick="--quick" in argv)
+    print(result.report())
+    return 0 if result.all_checks_pass else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main(sys.argv[1:]))

@@ -26,6 +26,18 @@ class TornadoConfig:
     #: identical trace, just slower (kept as the A/B perf baseline).
     fast_path: bool = True
 
+    #: Delta path (sender-side combiners + batched scatter I/O + the
+    #: versioned-store per-loop index/cache).  Scatters bound for the
+    #: same destination processor within one dispatch window ride one
+    #: envelope, merged per ``(producer, consumer)`` when the program
+    #: declares an ``update_combiner``; the store keeps per-loop key
+    #: indexes, pending delta logs with periodic rebasing, and an LRU
+    #: snapshot cache.  ``False`` runs the legacy one-envelope-per-value
+    #: one-version-per-call path byte for byte (the A/B perf baseline —
+    #: same precedent as ``fast_path``).  Converged results are identical
+    #: either way; message counts and virtual timings are not.
+    delta_path: bool = True
+
     # ------------------------------------------------------ iteration model
     #: Delay bound B (paper §4.4).  1 = synchronous; large = asynchronous.
     delay_bound: int = 65536

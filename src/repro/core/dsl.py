@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.core.vertex import VertexContext, VertexProgram
+from repro.core.vertex import VertexContext, VertexProgram, replace_update
 from repro.streams.model import ADD_EDGE, REMOVE_EDGE
 
 
@@ -38,12 +38,19 @@ class Algebra:
         ``(value, weight) -> offer`` — transform a value along an edge.
     changed:
         Equality escape hatch, e.g. tolerance comparisons.
+    combine_updates:
+        Optional associative ``(older, newer) -> merged`` combiner the
+        delta path applies to same-``(producer, consumer)`` offers that
+        share a dispatch window.  Slot-replacement semantics make
+        last-wins (:func:`repro.core.vertex.replace_update`) sound for
+        every algebra; ``None`` keeps batching without merging.
     """
 
     bottom: Any
     combine: Callable[[Any, dict], Any]
     extend: Callable[[Any, float], Any]
     changed: Callable[[Any, Any], bool] = lambda old, new: old != new
+    combine_updates: Callable[[Any, Any], Any] | None = None
 
 
 @dataclass
@@ -59,6 +66,7 @@ class AlgebraicProgram(VertexProgram):
 
     def __init__(self, algebra: Algebra) -> None:
         self.algebra = algebra
+        self.update_combiner = algebra.combine_updates
 
     def init(self, ctx: VertexContext) -> None:
         value = self.algebra.combine(ctx.vertex_id, {})
@@ -129,6 +137,7 @@ def shortest_paths(source: Any,
         bottom=inf,
         combine=combine,
         extend=lambda value, weight: value + weight,
+        combine_updates=replace_update,
     ))
 
 
@@ -142,6 +151,7 @@ def reachability(source: Any) -> AlgebraicProgram:
         bottom=False,
         combine=combine,
         extend=lambda value, weight: value,
+        combine_updates=replace_update,
     ))
 
 
@@ -159,6 +169,7 @@ def widest_path(source: Any) -> AlgebraicProgram:
         bottom=0.0,
         combine=combine,
         extend=lambda value, weight: min(value, weight),
+        combine_updates=replace_update,
     ))
 
 
@@ -174,4 +185,5 @@ def min_label() -> AlgebraicProgram:
         bottom=None,
         combine=combine,
         extend=lambda value, weight: value,
+        combine_updates=replace_update,
     ))

@@ -66,7 +66,7 @@ class TornadoJob:
             jitter=self.config.net_jitter,
             capacity=self.config.net_capacity,
         )
-        self.store = VersionedStore()
+        self.store = VersionedStore(delta_path=self.config.delta_path)
         self.manifest = CheckpointManifest()
         self.durable = MasterDurableState()
         self.failures = FailureInjector(self.sim, network=self.network)
@@ -203,10 +203,11 @@ class TornadoJob:
             for vertex_id, state in main.vertices.items():
                 merged[vertex_id] = state.value
         # Vertices handed over by a rebalance live in the store until
-        # their new owner's first message materialises them.
-        for vertex_id in self.store.keys(MAIN_LOOP):
+        # their new owner's first message materialises them.  This is an
+        # in-memory inspection helper, not a billed protocol read.
+        for vertex_id, (value, _targets) in self.store.snapshot(
+                MAIN_LOOP, internal=True).items():
             if vertex_id not in merged:
-                value, _targets = self.store.get(MAIN_LOOP, vertex_id)
                 merged[vertex_id] = value
         return merged
 

@@ -44,6 +44,36 @@ class VertexUpdate:
 
 
 @dataclass(frozen=True, slots=True)
+class SessionBatch:
+    """Several session messages of one loop for one destination
+    processor, riding a single reliable envelope (the delta path's
+    sender-side batching).  ``payloads`` holds :class:`VertexUpdate`,
+    :class:`Prepare` and :class:`Acknowledge` messages in their original
+    send order, so per-link protocol ordering (an update may never be
+    overtaken by the next round's PREPARE) is preserved verbatim; the
+    receiver dispatches them as if each had arrived in its own
+    envelope."""
+
+    loop: str
+    payloads: tuple[Any, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ReleasedUpdate:
+    """Delta-path re-delivery wrapper for an update leaving the delay
+    buffer.  The wrapper tells the dispatcher this message was already
+    ordered by the buffer (apply it, do not park it again) and carries
+    the per-pair bookkeeping that keeps later same-``(producer,
+    consumer)`` arrivals from overtaking it while it sits in the inbox."""
+
+    update: VertexUpdate
+
+    @property
+    def loop(self) -> str:
+        return self.update.loop
+
+
+@dataclass(frozen=True, slots=True)
 class Prepare:
     """Phase 2: ``producer`` announces it is about to update."""
 

@@ -23,8 +23,9 @@ from repro.core.messages import (MAIN_LOOP, Acknowledge, Envelope,
                                  MergeBranch, MigrateDone, MigrateState,
                                  PeerRecovered, Prepare,
                                  ProcessorRecovered, ProgressReport,
-                                 RecoverLoops, Repartition, StopLoop,
-                                 Unreliable, VertexInput, VertexUpdate)
+                                 RecoverLoops, ReleasedUpdate, Repartition,
+                                 SessionBatch, StopLoop, Unreliable,
+                                 VertexInput, VertexUpdate)
 from repro.core.partition import PartitionScheme
 from repro.core.protocol import (CommitUpdate, SendAck, SendPrepare,
                                  VertexProtocol)
@@ -54,6 +55,16 @@ class LoopState:
         self.gathered_total = 0
         # Updates blocked by the delay bound, keyed by their iteration.
         self.buffered_updates: list[tuple[int, int, VertexUpdate]] = []
+        # Delta path: (producer, consumer) pairs with updates released
+        # from the delay buffer but not yet re-applied out of the inbox.
+        # While a pair is listed, later arrivals for it must park behind
+        # the in-flight release — an inline apply would overtake it and
+        # let the older offer replay last.  (Updates still *in* the heap
+        # need no such guard: a parked head implies its iteration is at
+        # or above the bound, so any equal-or-newer same-pair arrival
+        # parks on iteration grounds anyway, and an older one may safely
+        # apply first.)
+        self.released_pairs: dict[tuple[Any, Any], int] = {}
         # Inputs deferred while their vertex prepares (paper §4.2).
         self.buffered_inputs: dict[Any, list[VertexInput]] = {}
         # Highest iteration any local vertex of this loop committed at.
@@ -153,6 +164,36 @@ class Processor(Actor):
         self._partition_epoch = 0
         self._m_migrated = metrics.counter("core.vertices_migrated")
         self._g_migrating = metrics.gauge(f"core.{name}.migrating")
+        # ------------------------------------------------------ delta path
+        # Sender-side session window: all outbound session traffic of one
+        # dispatch (committed updates, PREPAREs, ACKs) buffered per loop
+        # as one ordered entry list, then flushed at the end of the
+        # dispatch as one envelope per destination processor.  Because
+        # the window preserves the original send order end to end,
+        # per-link protocol ordering (an update may never be overtaken
+        # by the next round's PREPARE, scatters precede pended ACKs)
+        # holds by construction — no special-case flushes needed.  With a
+        # program-declared associative combiner, same-(producer,
+        # consumer) scatters in one window merge into a single update at
+        # the merged (max) iteration; the ``index`` map points at the
+        # latest update cell per pair.
+        self._delta_scatter = config.delta_path
+        self._combiner = (app.program.update_combiner
+                          if config.delta_path else None)
+        self._session_window: dict[str, tuple[list, dict]] = {}
+        self._m_scatter_buffered = metrics.counter("core.scatter_buffered")
+        self._m_scatter_batches = metrics.counter("core.scatter_batches")
+        self._m_scatter_batched = metrics.counter(
+            "core.scatter_batched_updates")
+        self._m_scatter_merged = metrics.counter("core.scatter_merged")
+        self._m_scatter_stale = metrics.counter("core.scatter_stale_skipped")
+        self._m_envelopes_saved = metrics.counter(
+            "core.scatter_envelopes_saved")
+        self._g_store_cache_hits = metrics.gauge("storage.cache_hits")
+        self._g_store_cache_misses = metrics.gauge("storage.cache_misses")
+        self._g_store_rebases = metrics.gauge("storage.rebases")
+        self._g_store_internal_reads = metrics.gauge(
+            "storage.internal_reads")
 
     # ----------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -186,10 +227,22 @@ class Processor(Actor):
         if payload is None:
             return self.config.control_cost
         self._work_since_report = True
+        cost = self._dispatch(payload)
+        if self._session_window:
+            # End of the dispatch window: all session traffic produced
+            # while handling this message goes out, merged and batched.
+            cost += self._flush_window()
+        return cost
+
+    def _dispatch(self, payload: Any) -> float:
         if isinstance(payload, VertexInput):
             return self._handle_input(payload)
         if isinstance(payload, VertexUpdate):
             return self._handle_update(payload)
+        if isinstance(payload, ReleasedUpdate):
+            return self._handle_released(payload.update)
+        if isinstance(payload, SessionBatch):
+            return self._handle_session_batch(payload)
         if isinstance(payload, Prepare):
             return self._handle_prepare(payload)
         if isinstance(payload, Acknowledge):
@@ -233,8 +286,18 @@ class Processor(Actor):
         # later: the peer's dedup window died with it, so the copy would
         # land as fresh — and a stale PREPARE arriving after its producer
         # committed leaves a ghost prepare_list entry nothing ever clears.
-        # Live rounds re-send theirs below.
-        self.transport.purge_unacked(msg.processor, (Prepare,))
+        # Live rounds re-send theirs below.  On the delta path a PREPARE
+        # may ride a session batch; dropping the whole batch is safe —
+        # the updates in it are re-derived by the re-scatter below, and
+        # ACKs to a rolled-back preparation are void anyway.
+        if self._delta_scatter:
+            self.transport.purge_unacked(
+                msg.processor,
+                predicate=lambda p: isinstance(p, Prepare)
+                or (isinstance(p, SessionBatch)
+                    and any(isinstance(q, Prepare) for q in p.payloads)))
+        else:
+            self.transport.purge_unacked(msg.processor, (Prepare,))
         for loop in self.loops.values():
             for vertex_id, state in loop.vertices.items():
                 if any(self.partition.owner(target) == msg.processor
@@ -253,10 +316,17 @@ class Processor(Actor):
                 for consumer in list(protocol.waiting_list):
                     if self.partition.owner(consumer) != msg.processor:
                         continue
-                    self.transport.send(msg.processor, Prepare(
-                        loop.name, vertex_id, consumer,
-                        protocol.update_time), tag=loop.name)
-                    cost += self.config.control_cost
+                    prepare = Prepare(loop.name, vertex_id, consumer,
+                                      protocol.update_time)
+                    if self._delta_scatter:
+                        # Through the window, so re-scattered updates
+                        # buffered above are not overtaken by this
+                        # PREPARE on the same link.
+                        self._buffer_prepare(loop, consumer, prepare)
+                    else:
+                        self.transport.send(msg.processor, prepare,
+                                            tag=loop.name)
+                        cost += self.config.control_cost
         return cost
 
     def _forward_if_not_owner(self, vertex_id: Any, payload: Any) -> bool:
@@ -386,7 +456,8 @@ class Processor(Actor):
         return cost + self._try_prepare(loop, msg.vertex)
 
     # ------------------------------------------------------------- updates
-    def _handle_update(self, msg: VertexUpdate) -> float:
+    def _handle_update(self, msg: VertexUpdate,
+                       released: bool = False) -> float:
         if self._forward_if_not_owner(msg.consumer, msg):
             return self.config.control_cost
         if self._buffer_if_migrating_in(msg.consumer, msg):
@@ -395,7 +466,18 @@ class Processor(Actor):
         if loop is None:
             return self.config.control_cost
         blocked_at = loop.frontier + self.config.delay_bound - 1
-        if msg.iteration >= blocked_at:
+        must_park = msg.iteration >= blocked_at
+        if self._delta_scatter and not released and not must_park:
+            # Per-pair FIFO: while an earlier same-(producer, consumer)
+            # update released from the delay buffer is still in inbox
+            # transit, a fresh arrival must park behind it.  Applying it
+            # inline would let the older offer replay last and clobber
+            # the newer value under slot-replacement gathers — and both
+            # can carry the *same* iteration (input-driven commits do not
+            # bump it), so only arrival order disambiguates.
+            must_park = bool(
+                loop.released_pairs.get((msg.producer, msg.consumer)))
+        if must_park:
             heapq.heappush(loop.buffered_updates,
                            (msg.iteration, next(loop._buffer_seq), msg))
             self._g_delay_buffer.set(len(loop.buffered_updates))
@@ -410,6 +492,27 @@ class Processor(Actor):
 
     def _apply_update(self, loop: LoopState, msg: VertexUpdate) -> float:
         state, protocol = self._ensure_vertex(loop, msg.consumer)
+        if self._combiner is not None:
+            # Stale-update guard (delta path, last-wins algebras only):
+            # the delay-buffer release path can apply a parked update
+            # *after* a fresher one from the same producer was gathered
+            # inline; for slot-replacement semantics the stale offer is
+            # dead and replaying it would clobber the newer value.  It
+            # still counts toward termination (its sender charged the
+            # sent counter) but runs no gather and no protocol event.
+            last = protocol.gathered_from.get(msg.producer)
+            if last is not None and msg.iteration < last:
+                loop.counter(msg.iteration)[2] += 1
+                loop.gathered_total += 1
+                self.total_updates_gathered += 1
+                self._m_updates.inc()
+                self._m_scatter_stale.inc()
+                if self._trace.enabled:
+                    self._trace.record(self.sim.now, "delta", "stale_skip",
+                                       actor=self.name, loop=loop.name,
+                                       iteration=msg.iteration)
+                return self.config.control_cost
+            protocol.gathered_from[msg.producer] = msg.iteration
         ctx = VertexContext(state, loop.name, protocol.iteration)
         changed = self.app.program.gather(ctx, msg.producer, msg.data)
         protocol.gathered_update(msg.producer, msg.iteration, changed)
@@ -428,6 +531,107 @@ class Processor(Actor):
         if cost is None:
             cost = self.config.gather_cost
         return cost + self._try_prepare(loop, msg.consumer)
+
+    # ----------------------------------------------------------- delta path
+    def _window_for(self, loop_name: str) -> tuple[list, dict]:
+        window = self._session_window.get(loop_name)
+        if window is None:
+            window = self._session_window[loop_name] = ([], {})
+        return window
+
+    def _buffer_scatter(self, loop: LoopState, producer: Any, consumer: Any,
+                        iteration: int, data: Any) -> None:
+        """Park one committed scatter in the dispatch window.  With a
+        declared combiner, a same-``(producer, consumer)`` update already
+        in the window absorbs it in place (last-wins algebras collapse to
+        the newest offer) — in-place is order-safe because a second
+        commit within one dispatch only ever happens on the skip-prepare
+        path, so no PREPARE of that pair can sit between the two;
+        otherwise it queues behind the earlier one so the consumer still
+        sees every update, in order."""
+        self._m_scatter_buffered.inc()
+        entries, index = self._window_for(loop.name)
+        cell = (index.get((producer, consumer))
+                if self._combiner is not None else None)
+        if cell is not None:
+            cell[0] = max(cell[0], iteration)
+            cell[1] = self._combiner(cell[1], data)
+            self._m_scatter_merged.inc()
+        else:
+            cell = [iteration, data]
+            entries.append(("update", producer, consumer, cell))
+            index[(producer, consumer)] = cell
+
+    def _buffer_prepare(self, loop: LoopState, consumer: Any,
+                        payload: Prepare) -> None:
+        self._window_for(loop.name)[0].append(("prepare", consumer,
+                                               payload))
+
+    def _buffer_ack(self, loop: LoopState, producer: Any,
+                    payload: Acknowledge) -> None:
+        self._window_for(loop.name)[0].append(("ack", producer, payload))
+
+    def _flush_window(self) -> float:
+        """Drain the session window: route every entry by its
+        *flush-time* owner (a migration may have flipped a consumer's
+        owner mid-window — the message follows the vertex, it is never
+        dropped), charge the sent-side termination counters post-merge,
+        and ship one envelope per destination processor, preserving the
+        original send order within it."""
+        if not self._session_window:
+            return 0.0
+        buffer, self._session_window = self._session_window, {}
+        cost = 0.0
+        for loop_name, (entries, _index) in buffer.items():
+            loop = self.loops.get(loop_name)
+            by_dst: dict[str, list[Any]] = {}
+            updates = 0
+            for entry in entries:
+                kind = entry[0]
+                if kind == "update":
+                    _kind, producer, consumer, cell = entry
+                    iteration, data = cell
+                    if loop is not None:
+                        loop.counter(iteration)[1] += 1
+                    updates += 1
+                    dst = self.partition.owner(consumer)
+                    payload: Any = VertexUpdate(loop_name, producer,
+                                                consumer, iteration, data)
+                elif kind == "prepare":
+                    _kind, consumer, payload = entry
+                    dst = self.partition.owner(consumer)
+                else:  # pended or immediate ack, routed to the producer
+                    _kind, producer, payload = entry
+                    dst = self.partition.owner(producer)
+                by_dst.setdefault(dst, []).append(payload)
+            if loop is not None:
+                loop.sent_total += updates
+            for dst, payloads in by_dst.items():
+                if len(payloads) == 1:
+                    self.transport.send(dst, payloads[0], tag=loop_name)
+                else:
+                    self.transport.send(dst, SessionBatch(
+                        loop_name, tuple(payloads)), tag=loop_name)
+                    self._m_scatter_batches.inc()
+                    self._m_scatter_batched.inc(len(payloads))
+                    self._m_envelopes_saved.inc(len(payloads) - 1)
+                cost += self.config.control_cost
+            if self._trace.enabled:
+                self._trace.record(self.sim.now, "delta", "flush",
+                                   actor=self.name, loop=loop_name,
+                                   messages=len(entries), updates=updates,
+                                   envelopes=len(by_dst))
+        return cost
+
+    def _handle_session_batch(self, msg: SessionBatch) -> float:
+        """Unpack a batched envelope: each ride-along message goes
+        through the exact single-message path (forwarding, migration
+        buffering, delay bound, orphaning all behave per message), in
+        its original send order."""
+        cost = 0.0
+        for payload in msg.payloads:
+            cost += self._dispatch(payload)
+        return cost
 
     # ------------------------------------------------------ prepare / ack
     def _handle_prepare(self, msg: Prepare) -> float:
@@ -474,10 +678,20 @@ class Processor(Actor):
         cost = 0.0
         for action in actions:
             if isinstance(action, SendPrepare):
-                owner = self.partition.owner(action.consumer)
-                self.transport.send(owner, Prepare(
-                    loop.name, vertex_id, action.consumer,
-                    action.update_time), tag=loop.name)
+                prepare = Prepare(loop.name, vertex_id, action.consumer,
+                                  action.update_time)
+                if self._delta_scatter:
+                    # Session window: the window keeps send order, so the
+                    # consumer still sees this vertex's buffered update
+                    # for iteration i before the PREPARE announcing i+1
+                    # (the update discards our prepare_list entry on
+                    # arrival — overtaking it would erase the new
+                    # announcement).  Envelope cost is paid at flush.
+                    self._buffer_prepare(loop, action.consumer, prepare)
+                else:
+                    owner = self.partition.owner(action.consumer)
+                    self.transport.send(owner, prepare, tag=loop.name)
+                    cost += self.config.control_cost
                 loop.prepares_recorded += 1
                 self.total_prepares += 1
                 self._m_prepares.inc()
@@ -486,18 +700,24 @@ class Processor(Actor):
                         self.sim.now, "protocol", "prepare",
                         actor=self.name, loop=loop.name,
                         iteration=loop.protocols[vertex_id].iteration)
-                cost += self.config.control_cost
             elif isinstance(action, SendAck):
-                owner = self.partition.owner(action.producer)
-                self.transport.send(owner, Acknowledge(
-                    loop.name, vertex_id, action.producer,
-                    action.iteration), tag=loop.name)
+                ack = Acknowledge(loop.name, vertex_id, action.producer,
+                                  action.iteration)
+                if self._delta_scatter:
+                    # Window order keeps the legacy scatters-before-
+                    # pended-acks link order: the producer's commit
+                    # (triggered by this ACK) gathers our update first,
+                    # as it would have un-batched.
+                    self._buffer_ack(loop, action.producer, ack)
+                else:
+                    owner = self.partition.owner(action.producer)
+                    self.transport.send(owner, ack, tag=loop.name)
+                    cost += self.config.control_cost
                 self._m_acks.inc()
                 if self._trace.enabled:
                     self._trace.record(self.sim.now, "protocol", "ack",
                                        actor=self.name, loop=loop.name,
                                        iteration=action.iteration)
-                cost += self.config.control_cost
             elif isinstance(action, CommitUpdate):
                 cost += self._commit(loop, vertex_id, action.iteration)
         return cost
@@ -528,15 +748,24 @@ class Processor(Actor):
         ctx = VertexContext(state, loop.name, iteration)
         self.app.program.scatter(ctx)
         emitted = ctx.take_emitted()
-        for target, data in emitted.items():
-            owner = self.partition.owner(target)
-            self.transport.send(owner, VertexUpdate(
-                loop.name, vertex_id, target, iteration, data),
-                tag=loop.name)
-        loop.counter(iteration)[1] += len(emitted)
-        loop.sent_total += len(emitted)
+        if self._delta_scatter:
+            # Delta path: park the scatters in the window; the flush
+            # accounts sent counters (post-merge, at the merged
+            # iteration) and pays the per-envelope cost.
+            for target, data in emitted.items():
+                self._buffer_scatter(loop, vertex_id, target, iteration,
+                                     data)
+            cost = self.config.control_cost
+        else:
+            for target, data in emitted.items():
+                owner = self.partition.owner(target)
+                self.transport.send(owner, VertexUpdate(
+                    loop.name, vertex_id, target, iteration, data),
+                    tag=loop.name)
+            loop.counter(iteration)[1] += len(emitted)
+            loop.sent_total += len(emitted)
+            cost = self.config.control_cost * (1 + len(emitted))
         # Gather the inputs that arrived during the preparation.
-        cost = self.config.control_cost * (1 + len(emitted))
         deferred = loop.buffered_inputs.pop(vertex_id, None)
         if deferred:
             protocol = loop.protocols[vertex_id]
@@ -548,6 +777,45 @@ class Processor(Actor):
         return cost
 
     # ---------------------------------------------------------- frontier
+    def _release_buffered(self, loop: LoopState) -> None:
+        """Requeue delay-buffered updates that dropped below the bound.
+
+        Releases go back through the inbox so each one pays message cost.
+        On the delta path they travel wrapped in :class:`ReleasedUpdate`:
+        the wrapper marks them as already ordered by the buffer (apply,
+        do not re-park) and holds a ``released_pairs`` entry until the
+        update actually applies, so a fresh same-pair arrival cannot
+        slip past it while it waits in the inbox."""
+        blocked_at = loop.frontier + self.config.delay_bound - 1
+        while (loop.buffered_updates
+               and loop.buffered_updates[0][0] < blocked_at):
+            _iteration, _seq, update = heapq.heappop(loop.buffered_updates)
+            if self._delta_scatter:
+                pair = (update.producer, update.consumer)
+                loop.released_pairs[pair] = (
+                    loop.released_pairs.get(pair, 0) + 1)
+                self.deliver(ReleasedUpdate(update), self.name)
+            else:
+                self.deliver(update, self.name)
+        self._g_delay_buffer.set(len(loop.buffered_updates))
+
+    def _handle_released(self, msg: VertexUpdate) -> float:
+        loop = self.loops.get(msg.loop)
+        if loop is not None:
+            pair = (msg.producer, msg.consumer)
+            count = loop.released_pairs.get(pair, 0) - 1
+            if count > 0:
+                loop.released_pairs[pair] = count
+            else:
+                loop.released_pairs.pop(pair, None)
+        cost = self._handle_update(msg, released=True)
+        # Applying the head may strand same-pair followers that parked
+        # below the bound purely on FIFO grounds; sweep them out now
+        # instead of waiting for a frontier advance that may never come.
+        if loop is not None:
+            self._release_buffered(loop)
+        return cost
+
     def _handle_terminated(self, msg: IterationTerminated) -> float:
         loop = self.loops.get(msg.loop)
         if loop is None:
@@ -560,13 +828,7 @@ class Processor(Actor):
             self._trace.record(self.sim.now, "progress", "frontier",
                                actor=self.name, loop=loop.name,
                                frontier=loop.frontier)
-        blocked_at = loop.frontier + self.config.delay_bound - 1
-        while (loop.buffered_updates
-               and loop.buffered_updates[0][0] < blocked_at):
-            _iteration, _seq, update = heapq.heappop(loop.buffered_updates)
-            # Requeue through the inbox so each release pays message cost.
-            self.deliver(update, self.name)
-        self._g_delay_buffer.set(len(loop.buffered_updates))
+        self._release_buffered(loop)
         # The frontier advance may unlock the delay-bound fast path.
         cost = self.config.control_cost
         for vertex_id, protocol in list(loop.protocols.items()):
@@ -585,15 +847,20 @@ class Processor(Actor):
         self.loop_archive[msg.loop] = (
             stopped.commits_total, stopped.sent_total,
             stopped.gathered_total, stopped.prepares_recorded)
-        materialised = 0
+        # Presence probes ride one housekeeping snapshot of the stopped
+        # loop — every processor tears the same loop down at the same
+        # instant, so after the first walk the rest are LRU-cache hits —
+        # and the final values go out as one batched write.
+        existing = self.store.snapshot(msg.loop, internal=True)
+        items = []
         for vertex_id, state in stopped.vertices.items():
-            if self.store.get_version(msg.loop, vertex_id) is not None:
+            if vertex_id in existing:
                 continue
             version = (self.app.program.snapshot_value(state.value),
                        frozenset(state.targets))
-            self.store.put(msg.loop, vertex_id,
-                           max(0, state.last_commit_iteration), version)
-            materialised += 1
+            items.append((vertex_id, max(0, state.last_commit_iteration),
+                          version))
+        materialised = self.store.put_many(msg.loop, items)
         return self.config.control_cost + 2e-6 * materialised
 
     # ------------------------------------------------------ fork / merge
@@ -622,12 +889,18 @@ class Processor(Actor):
         batch_mode = self.config.main_loop_mode == "batch"
         # Producers of main-loop updates still in flight: their committed
         # values have not reached every consumer, so the snapshot misses
-        # them — they must re-scatter in the branch.
-        inflight_producers = {
-            payload.producer
-            for payload in self.transport.unacked_payloads()
-            if isinstance(payload, VertexUpdate)
-            and payload.loop == MAIN_LOOP}
+        # them — they must re-scatter in the branch.  Batched envelopes
+        # carry many producers each.
+        inflight_producers = set()
+        for payload in self.transport.unacked_payloads():
+            if isinstance(payload, VertexUpdate) \
+                    and payload.loop == MAIN_LOOP:
+                inflight_producers.add(payload.producer)
+            elif isinstance(payload, SessionBatch) \
+                    and payload.loop == MAIN_LOOP:
+                inflight_producers.update(
+                    ride.producer for ride in payload.payloads
+                    if isinstance(ride, VertexUpdate))
         cost = self.config.control_cost
         for vertex_id, state in main.vertices.items():
             if vertex_id in branch.vertices:
@@ -665,7 +938,13 @@ class Processor(Actor):
         # Updates parked by the delay bound were never gathered: fold them
         # into the branch copies directly.
         if not batch_mode:
-            for _iteration, _seq, update in main.buffered_updates:
+            # Delta path: fold in buffer (arrival) order so a stale
+            # same-pair offer cannot land after a fresher one; the raw
+            # heap array is only partially ordered.  (iteration, seq)
+            # keys are unique, so sorted() never compares the updates.
+            buffered = (sorted(main.buffered_updates) if self._delta_scatter
+                        else main.buffered_updates)
+            for _iteration, _seq, update in buffered:
                 if update.consumer not in branch.vertices:
                     continue
                 b_state = branch.vertices[update.consumer]
@@ -693,29 +972,30 @@ class Processor(Actor):
             # the main loop.
             self._orphans.setdefault(MAIN_LOOP, []).append(msg)
             return self.config.control_cost
-        merged = 0
-        for vertex_id in self.store.keys(msg.loop):
+        # The branch walk-and-write-back is runtime housekeeping, batched:
+        # one snapshot of the (stopped, hence unchanging) branch — shared
+        # via the LRU cache across all processors merging it — and one
+        # put_many into the main loop (a single cache invalidation).
+        view = self.store.snapshot(msg.loop, internal=True)
+        items = []
+        for vertex_id, (value, targets) in view.items():
             if self.partition.owner(vertex_id) != self.name:
                 continue
-            found = self.store.get_version(msg.loop, vertex_id)
-            if found is None:
-                continue
-            _iteration, (value, targets) = found
             state, protocol = self._ensure_vertex(main, vertex_id)
             state.value = self.app.program.snapshot_value(value)
             state.targets = set(targets)
             state.last_commit_iteration = msg.target_iteration
             if msg.target_iteration > protocol.iteration:
                 protocol.iteration = msg.target_iteration
-            self.store.put(MAIN_LOOP, vertex_id, msg.target_iteration,
-                           (self.app.program.snapshot_value(value),
-                            frozenset(targets)))
+            items.append((vertex_id, msg.target_iteration,
+                          (self.app.program.snapshot_value(value),
+                           frozenset(targets))))
             main.pending_flush += 1
-            merged += 1
             if self.config.main_loop_mode == "approximate":
                 # Re-scatter the fixed point once so any consumer slot
                 # written by in-flight pre-merge traffic is healed.
                 protocol.dirty = True
+        merged = self.store.put_many(MAIN_LOOP, items)
         cost = self.config.control_cost + 2e-6 * merged
         if self.config.main_loop_mode == "approximate":
             for vertex_id, protocol in list(main.protocols.items()):
@@ -919,6 +1199,12 @@ class Processor(Actor):
                      if loop.highest_commit >= 0]
         self._flush_in_flight = True
         self._m_flushes.inc()
+        # Store health gauges ride the report cadence (shared store: every
+        # processor publishes the same totals, which is idempotent).
+        self._g_store_cache_hits.set(self.store.cache_hits)
+        self._g_store_cache_misses.set(self.store.cache_misses)
+        self._g_store_rebases.set(self.store.rebases)
+        self._g_store_internal_reads.set(self.store.internal_reads)
         if self._trace.enabled:
             self._trace.record(self.sim.now, "storage", "flush",
                                actor=self.name, versions=total_pending)
@@ -950,6 +1236,9 @@ class Processor(Actor):
         self._inbound = {}
         self._migration_buffer = {}
         self._g_migrating.set(0)
+        # Unsent window contents die with the crash, exactly like unsent
+        # legacy envelopes would; recovery re-scatters checkpoints.
+        self._session_window = {}
 
     def on_recover(self) -> None:
         self.transport.send(self.master_name,
@@ -965,13 +1254,13 @@ class Processor(Actor):
             loop.frontier = max(0, last_terminated + 1)
             self.loops[loop_name] = loop
             bound = last_terminated if last_terminated >= 0 else None
-            for vertex_id in self.store.keys(loop_name):
-                if self.partition.owner(vertex_id) != self.name:
-                    continue
-                found = self.store.get_version(loop_name, vertex_id, bound)
-                if found is None:
-                    continue
-                iteration, (value, targets) = found
+            # Rebuild from the checkpoint in one batched housekeeping read.
+            ours = [vertex_id for vertex_id in self.store.keys(loop_name)
+                    if self.partition.owner(vertex_id) == self.name]
+            found_map = self.store.get_many(loop_name, ours, bound,
+                                            internal=True)
+            for vertex_id, (iteration, (value, targets)) \
+                    in found_map.items():
                 state = VertexState(
                     vertex_id, self.app.program.snapshot_value(value),
                     set(targets), iteration)

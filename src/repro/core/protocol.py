@@ -60,7 +60,7 @@ class VertexProtocol:
 
     __slots__ = ("vertex", "iteration", "update_time", "prepare_list",
                  "waiting_list", "pending_list", "dirty", "commits",
-                 "prepares_sent")
+                 "prepares_sent", "gathered_from")
 
     def __init__(self, vertex: Any, iteration: int = 0) -> None:
         self.vertex = vertex
@@ -77,6 +77,12 @@ class VertexProtocol:
         self.dirty = False
         self.commits = 0
         self.prepares_sent = 0
+        # Highest update iteration gathered per producer.  The delta
+        # path's stale-update guard reads this for last-wins algebras:
+        # the delay-buffer release can reorder a parked update behind a
+        # fresher inline-applied one, and replaying the stale offer would
+        # clobber the newer slot value.  Legacy never consults it.
+        self.gathered_from: dict[Any, int] = {}
 
     # ------------------------------------------------------------ queries
     @property

@@ -174,17 +174,23 @@ class ReliableEndpoint:
             return message.payload
         return message
 
-    def purge_unacked(self, dst: str, kinds: tuple[type, ...]) -> int:
-        """Stop retransmitting unacknowledged messages of the given
-        payload types addressed to ``dst``.  Used when ``dst`` restarts:
-        its dedup window died with it, so a pre-crash envelope would be
-        re-delivered as *fresh* — and a stale PREPARE landing after its
-        producer committed wedges the consumer forever (nothing ever
-        clears the ghost ``prepare_list`` entry).  The recovery protocol
-        re-sends every still-live PREPARE explicitly."""
+    def purge_unacked(self, dst: str, kinds: tuple[type, ...] = (),
+                      predicate: Any = None) -> int:
+        """Stop retransmitting unacknowledged messages addressed to
+        ``dst`` that match the payload ``kinds`` (or an arbitrary
+        ``predicate``, for container payloads such as session batches).
+        Used when ``dst`` restarts: its dedup window died with it, so a
+        pre-crash envelope would be re-delivered as *fresh* — and a
+        stale PREPARE landing after its producer committed wedges the
+        consumer forever (nothing ever clears the ghost ``prepare_list``
+        entry).  The recovery protocol re-sends every still-live PREPARE
+        explicitly."""
         purged = 0
         for msg_id, (dest, payload) in list(self._outbox.items()):
-            if dest != dst or not isinstance(payload, kinds):
+            if dest != dst:
+                continue
+            if not (isinstance(payload, kinds) if kinds
+                    else predicate is not None and predicate(payload)):
                 continue
             del self._outbox[msg_id]
             timer = self._timers.pop(msg_id, None)

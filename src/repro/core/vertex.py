@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Protocol
+from typing import Any, Callable, Iterable, Protocol
 
 from repro.streams.model import StreamTuple
 
@@ -104,8 +104,27 @@ class Delta:
     weight: int = 1
 
 
+def replace_update(old: Any, new: Any) -> Any:
+    """The last-wins combiner: a later update from the same producer
+    supersedes the earlier one.  This is the only combiner that is sound
+    for every program honouring the per-source-slot gather contract above
+    (``gather`` replaces the producer's slot, so only the newest message
+    matters) — in particular it preserves retractions, which idempotent
+    merges like ``min`` would swallow."""
+    del old
+    return new
+
+
 class VertexProgram:
     """User-defined vertex behaviour; subclass and override."""
+
+    #: Optional associative combiner ``(older, newer) -> merged`` applied
+    #: by the delta path when several updates from the same producer to
+    #: the same consumer share one dispatch window.  ``None`` disables
+    #: merging (updates still share an envelope, all are delivered).
+    #: Programs whose ``gather`` keeps per-source slots should declare
+    #: :func:`replace_update`; accumulating programs must leave ``None``.
+    update_combiner: Callable[[Any, Any], Any] | None = None
 
     def init(self, ctx: VertexContext) -> None:
         """Initialise a newly created vertex."""

@@ -5,23 +5,56 @@ Tornado materialises every committed vertex version in external storage
 chain of ``(iteration, value)`` versions.  Branch loops snapshot the main
 loop by reading, for each vertex, the most recent version whose iteration is
 not greater than the fork iteration (paper §5.2).
+
+Two layouts, A/B-gated by ``delta_path`` (mirroring the kernel
+``fast_path`` precedent):
+
+* **Legacy** (``delta_path=False``): one flat ``(loop, key) -> chain``
+  dict.  ``keys()`` / ``snapshot()`` / ``drop_loop()`` /
+  ``truncate_before()`` / ``version_count()`` scan every chain in the
+  store — the pre-delta-path implementation, kept as the perf baseline.
+* **Delta** (``delta_path=True``, the default): a per-loop key index
+  (loop-scoped walks touch only that loop's chains), chains that absorb
+  writes into a pending delta log consolidated by periodic *rebases*
+  (arrangement-style: the sorted base arrays are rebuilt only every
+  :data:`REBASE_INTERVAL` writes or before a read), and an LRU snapshot
+  cache keyed ``(loop, bound)``, invalidated by per-loop generation
+  counters — repeated branch-fork reads of an unchanged loop stop
+  re-walking full chains.
+
+Cost-model accounting is split: :attr:`reads` counts *protocol* reads
+(vertex seeding, fork snapshots, query results); runtime housekeeping
+walks (GC, merge write-back, crash recovery, migration re-release) go
+through the ``peek``/``internal`` variants and land in
+:attr:`internal_reads` instead, so :attr:`reads` reflects only what a
+real deployment would bill the database for.
 """
 
 from __future__ import annotations
 
 import bisect
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from repro.errors import StorageError
+
+#: Pending-log length that triggers a rebase on write (delta path).
+REBASE_INTERVAL = 16
+#: Distinct ``(loop, bound)`` snapshot views kept by the LRU cache.
+SNAPSHOT_CACHE_SIZE = 32
 
 
 @dataclass
 class _Chain:
-    """Version chain for one key: parallel arrays sorted by iteration."""
+    """Version chain for one key: parallel arrays sorted by iteration,
+    plus (delta path only) a pending log of unconsolidated writes."""
 
     iterations: list[int] = field(default_factory=list)
     values: list[Any] = field(default_factory=list)
+    #: Recent writes not yet merged into the sorted base; readers must
+    #: :meth:`rebase` first.  Legacy-mode chains never populate this.
+    pending: list[tuple[int, Any]] = field(default_factory=list)
 
     def put(self, iteration: int, value: Any) -> None:
         index = bisect.bisect_left(self.iterations, iteration)
@@ -30,6 +63,41 @@ class _Chain:
         else:
             self.iterations.insert(index, iteration)
             self.values.insert(index, value)
+
+    def rebase(self) -> None:
+        """Fold the pending log into the sorted base (last write per
+        iteration wins).  The common case — appends in ascending order
+        past the base — extends the arrays without re-sorting."""
+        pending = self.pending
+        if not pending:
+            return
+        self.pending = []
+        previous = self.iterations[-1] if self.iterations else -1
+        ascending = True
+        for iteration, _value in pending:
+            if iteration <= previous:
+                ascending = False
+                break
+            previous = iteration
+        if ascending:
+            for iteration, value in pending:
+                self.iterations.append(iteration)
+                self.values.append(value)
+            return
+        merged = dict(zip(self.iterations, self.values))
+        merged.update(pending)
+        items = sorted(merged.items())
+        self.iterations = [iteration for iteration, _value in items]
+        self.values = [value for _iteration, value in items]
+
+    def max_iteration(self) -> int | None:
+        """Newest iteration across base *and* pending log — the
+        ``put_if_newer`` guard must see unconsolidated writes too."""
+        best = self.iterations[-1] if self.iterations else None
+        for iteration, _value in self.pending:
+            if best is None or iteration > best:
+                best = iteration
+        return best
 
     def latest(self, max_iteration: int | None = None) -> tuple[int, Any] | None:
         if not self.iterations:
@@ -60,10 +128,60 @@ class VersionedStore:
     immutability of committed values.
     """
 
-    def __init__(self) -> None:
-        self._chains: dict[tuple[str, Any], _Chain] = {}
+    def __init__(self, delta_path: bool = True) -> None:
+        self.delta_path = delta_path
         self.puts = 0
+        #: Protocol reads — what the cost model bills (see module doc).
         self.reads = 0
+        #: Housekeeping reads (GC, merge, recovery, migration walks).
+        self.internal_reads = 0
+        self.rebases = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Delta layout: loop -> key -> chain, plus the snapshot cache
+        # ((loop, bound) -> (generation, view)) and per-loop generations.
+        self._loops: dict[str, dict[Any, _Chain]] = {}
+        self._snap_cache: OrderedDict[tuple[str, int | None],
+                                      tuple[int, dict[Any, Any]]] \
+            = OrderedDict()
+        self._generation: dict[str, int] = {}
+        # Legacy layout: one flat dict over every loop.
+        self._chains: dict[tuple[str, Any], _Chain] = {}
+
+    # ----------------------------------------------------------- internals
+    def _find(self, loop: str, key: Any) -> _Chain | None:
+        if self.delta_path:
+            chains = self._loops.get(loop)
+            return None if chains is None else chains.get(key)
+        return self._chains.get((loop, key))
+
+    def _obtain(self, loop: str, key: Any) -> _Chain:
+        if self.delta_path:
+            chains = self._loops.setdefault(loop, {})
+            chain = chains.get(key)
+            if chain is None:
+                chain = chains[key] = _Chain()
+            return chain
+        chain = self._chains.get((loop, key))
+        if chain is None:
+            chain = self._chains[(loop, key)] = _Chain()
+        return chain
+
+    def _settle(self, chain: _Chain) -> None:
+        if chain.pending:
+            chain.rebase()
+            self.rebases += 1
+
+    def _bump(self, loop: str) -> None:
+        self._generation[loop] = self._generation.get(loop, 0) + 1
+
+    def _latest(self, loop: str, key: Any,
+                max_iteration: int | None) -> tuple[int, Any] | None:
+        chain = self._find(loop, key)
+        if chain is None:
+            return None
+        self._settle(chain)
+        return chain.latest(max_iteration)
 
     # -------------------------------------------------------------- writes
     def put(self, loop: str, key: Any, iteration: int, value: Any) -> None:
@@ -71,10 +189,36 @@ class VersionedStore:
         if iteration < 0:
             raise StorageError(f"negative iteration: {iteration}")
         self.puts += 1
-        chain = self._chains.get((loop, key))
-        if chain is None:
-            chain = self._chains[(loop, key)] = _Chain()
-        chain.put(iteration, value)
+        chain = self._obtain(loop, key)
+        if self.delta_path:
+            chain.pending.append((iteration, value))
+            if len(chain.pending) >= REBASE_INTERVAL:
+                self._settle(chain)
+            self._bump(loop)
+        else:
+            chain.put(iteration, value)
+
+    def put_many(self, loop: str,
+                 items: Iterable[tuple[Any, int, Any]]) -> int:
+        """Batched write: ``(key, iteration, value)`` triples.  Returns
+        the number written.  One generation bump covers the whole batch
+        on the delta path (one snapshot-cache invalidation, not N)."""
+        count = 0
+        for key, iteration, value in items:
+            if iteration < 0:
+                raise StorageError(f"negative iteration: {iteration}")
+            chain = self._obtain(loop, key)
+            if self.delta_path:
+                chain.pending.append((iteration, value))
+                if len(chain.pending) >= REBASE_INTERVAL:
+                    self._settle(chain)
+            else:
+                chain.put(iteration, value)
+            count += 1
+        self.puts += count
+        if count and self.delta_path:
+            self._bump(loop)
+        return count
 
     def put_if_newer(self, loop: str, key: Any, iteration: int,
                      value: Any) -> bool:
@@ -84,10 +228,11 @@ class VersionedStore:
         roll a newer committed version back).  Returns whether it wrote."""
         if iteration < 0:
             raise StorageError(f"negative iteration: {iteration}")
-        chain = self._chains.get((loop, key))
-        if chain is not None and chain.iterations \
-                and chain.iterations[-1] >= iteration:
-            return False
+        chain = self._find(loop, key)
+        if chain is not None:
+            newest = chain.max_iteration()
+            if newest is not None and newest >= iteration:
+                return False
         self.put(loop, key, iteration, value)
         return True
 
@@ -106,31 +251,95 @@ class VersionedStore:
                     max_iteration: int | None = None
                     ) -> tuple[int, Any] | None:
         self.reads += 1
-        chain = self._chains.get((loop, key))
-        if chain is None:
-            return None
-        return chain.latest(max_iteration)
+        return self._latest(loop, key, max_iteration)
+
+    def peek_version(self, loop: str, key: Any,
+                     max_iteration: int | None = None
+                     ) -> tuple[int, Any] | None:
+        """Uncharged read for runtime housekeeping — same result as
+        :meth:`get_version`, billed to :attr:`internal_reads`."""
+        self.internal_reads += 1
+        return self._latest(loop, key, max_iteration)
+
+    def get_many(self, loop: str, keys: Iterable[Any],
+                 max_iteration: int | None = None,
+                 internal: bool = False) -> dict[Any, tuple[int, Any]]:
+        """Batched point reads: key -> (iteration, value) for every key
+        with a version ≤ the bound.  ``internal`` routes the charge to
+        :attr:`internal_reads` (housekeeping walks)."""
+        found: dict[Any, tuple[int, Any]] = {}
+        walked = 0
+        for key in keys:
+            walked += 1
+            version = self._latest(loop, key, max_iteration)
+            if version is not None:
+                found[key] = version
+        if internal:
+            self.internal_reads += walked
+        else:
+            self.reads += walked
+        return found
 
     def keys(self, loop: str) -> list[Any]:
         """Keys of a loop, as a snapshot list (callers may mutate the store
         while walking it)."""
+        if self.delta_path:
+            return list(self._loops.get(loop, ()))
         return [key for chain_loop, key in self._chains
                 if chain_loop == loop]
 
-    def snapshot(self, loop: str,
-                 max_iteration: int | None = None) -> dict[Any, Any]:
+    def snapshot(self, loop: str, max_iteration: int | None = None,
+                 internal: bool = False) -> dict[Any, Any]:
         """Consistent view of a loop: per key, latest version ≤ bound.
-        This is exactly the branch-loop fork read (paper §5.2)."""
-        view: dict[Any, Any] = {}
-        for key in self.keys(loop):
-            found = self.get_version(loop, key, max_iteration)
-            if found is not None:
-                view[key] = found[1]
+        This is exactly the branch-loop fork read (paper §5.2).  On the
+        delta path, repeated reads of an unchanged loop are served from
+        the LRU cache.  ``internal`` walks (e.g. in-memory result
+        merging) are billed to :attr:`internal_reads`."""
+        if self.delta_path:
+            chains = self._loops.get(loop, {})
+            walked = len(chains)
+            cache_key = (loop, max_iteration)
+            generation = self._generation.get(loop, 0)
+            entry = self._snap_cache.get(cache_key)
+            if entry is not None and entry[0] == generation:
+                self._snap_cache.move_to_end(cache_key)
+                self.cache_hits += 1
+                view = dict(entry[1])
+            else:
+                self.cache_misses += 1
+                view = {}
+                for key, chain in chains.items():
+                    self._settle(chain)
+                    found = chain.latest(max_iteration)
+                    if found is not None:
+                        view[key] = found[1]
+                self._snap_cache[cache_key] = (generation, dict(view))
+                self._snap_cache.move_to_end(cache_key)
+                while len(self._snap_cache) > SNAPSHOT_CACHE_SIZE:
+                    self._snap_cache.popitem(last=False)
+        else:
+            view = {}
+            walked = 0
+            for key in self.keys(loop):
+                walked += 1
+                found = self._latest(loop, key, max_iteration)
+                if found is not None:
+                    view[key] = found[1]
+        if internal:
+            self.internal_reads += walked
+        else:
+            self.reads += walked
         return view
 
     # ------------------------------------------------------------ lifecycle
     def drop_loop(self, loop: str) -> int:
         """Delete every version of a loop (branch-loop teardown)."""
+        if self.delta_path:
+            chains = self._loops.pop(loop, None)
+            self._generation.pop(loop, None)
+            for cache_key in [k for k in self._snap_cache if k[0] == loop]:
+                del self._snap_cache[cache_key]
+            return len(chains) if chains is not None else 0
         doomed = [pair for pair in self._chains if pair[0] == loop]
         for pair in doomed:
             del self._chains[pair]
@@ -139,12 +348,30 @@ class VersionedStore:
     def truncate_before(self, loop: str, iteration: int) -> int:
         """Garbage-collect versions no snapshot at ≥ ``iteration`` can see."""
         dropped = 0
+        if self.delta_path:
+            for chain in self._loops.get(loop, {}).values():
+                self._settle(chain)
+                dropped += chain.truncate_before(iteration)
+            if dropped:
+                self._bump(loop)
+            return dropped
         for (chain_loop, _key), chain in self._chains.items():
             if chain_loop == loop:
                 dropped += chain.truncate_before(iteration)
         return dropped
 
     def version_count(self, loop: str | None = None) -> int:
+        if self.delta_path:
+            if loop is None:
+                loops = list(self._loops.values())
+            else:
+                loops = [self._loops.get(loop, {})]
+            total = 0
+            for chains in loops:
+                for chain in chains.values():
+                    self._settle(chain)
+                    total += len(chain.iterations)
+            return total
         return sum(len(chain.iterations)
                    for (chain_loop, _key), chain in self._chains.items()
                    if loop is None or chain_loop == loop)

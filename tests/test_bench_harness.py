@@ -74,4 +74,5 @@ class TestQuickExperiments:
         assert "fig5-sssp" in experiments
         assert "perf" in experiments
         assert "skew" in experiments
-        assert len(experiments) == 20
+        assert "delta" in experiments
+        assert len(experiments) == 21

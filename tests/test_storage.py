@@ -8,17 +8,23 @@ from repro.errors import StorageError
 from repro.simulator import SimulatedDisk, Simulator
 from repro.storage import (CheckpointManifest, DiskBackend, InMemoryBackend,
                            VersionedStore)
+from repro.storage.versioned import REBASE_INTERVAL
+
+
+@pytest.fixture(params=[False, True], ids=["legacy", "delta"])
+def store(request):
+    """Every store contract test runs against both layouts: the flat
+    legacy dict and the delta path's indexed/rebase/cached one."""
+    return VersionedStore(delta_path=request.param)
 
 
 class TestVersionedStore:
-    def test_put_get_roundtrip(self):
-        store = VersionedStore()
+    def test_put_get_roundtrip(self, store):
         store.put("main", "v1", 3, "value")
         assert store.get("main", "v1") == "value"
         assert store.get_version("main", "v1") == (3, "value")
 
-    def test_snapshot_reads_latest_at_or_below_bound(self):
-        store = VersionedStore()
+    def test_snapshot_reads_latest_at_or_below_bound(self, store):
         for iteration, value in [(1, "a"), (5, "b"), (9, "c")]:
             store.put("main", "k", iteration, value)
         assert store.get("main", "k", max_iteration=5) == "b"
@@ -26,32 +32,27 @@ class TestVersionedStore:
         assert store.get("main", "k", max_iteration=100) == "c"
         assert store.get_version("main", "k", max_iteration=0) is None
 
-    def test_missing_key_raises(self):
-        store = VersionedStore()
+    def test_missing_key_raises(self, store):
         with pytest.raises(StorageError):
             store.get("main", "ghost")
 
-    def test_same_iteration_overwrites(self):
-        store = VersionedStore()
+    def test_same_iteration_overwrites(self, store):
         store.put("main", "k", 2, "old")
         store.put("main", "k", 2, "new")
         assert store.get("main", "k") == "new"
         assert store.version_count("main") == 1
 
-    def test_out_of_order_puts(self):
-        store = VersionedStore()
+    def test_out_of_order_puts(self, store):
         store.put("main", "k", 9, "late")
         store.put("main", "k", 2, "early")
         assert store.get("main", "k", max_iteration=3) == "early"
         assert store.get("main", "k") == "late"
 
-    def test_negative_iteration_rejected(self):
-        store = VersionedStore()
+    def test_negative_iteration_rejected(self, store):
         with pytest.raises(StorageError):
             store.put("main", "k", -1, "v")
 
-    def test_loops_are_isolated(self):
-        store = VersionedStore()
+    def test_loops_are_isolated(self, store):
         store.put("main", "k", 1, "main-value")
         store.put("branch-1", "k", 1, "branch-value")
         assert store.get("main", "k") == "main-value"
@@ -60,21 +61,18 @@ class TestVersionedStore:
         with pytest.raises(StorageError):
             store.get("branch-1", "k")
 
-    def test_snapshot_whole_loop(self):
-        store = VersionedStore()
+    def test_snapshot_whole_loop(self, store):
         store.put("main", "a", 1, 10)
         store.put("main", "a", 4, 40)
         store.put("main", "b", 2, 20)
         view = store.snapshot("main", max_iteration=3)
         assert view == {"a": 10, "b": 20}
 
-    def test_snapshot_skips_keys_born_after_bound(self):
-        store = VersionedStore()
+    def test_snapshot_skips_keys_born_after_bound(self, store):
         store.put("main", "young", 8, 1)
         assert store.snapshot("main", max_iteration=3) == {}
 
-    def test_truncate_keeps_snapshot_readable(self):
-        store = VersionedStore()
+    def test_truncate_keeps_snapshot_readable(self, store):
         for iteration in (1, 3, 5, 7):
             store.put("main", "k", iteration, iteration * 10)
         dropped = store.truncate_before("main", 5)
@@ -86,19 +84,130 @@ class TestVersionedStore:
                     min_size=1, max_size=40))
     def test_property_latest_below_bound(self, puts):
         """get(max_iteration=b) always returns the value with the largest
-        iteration ≤ b, regardless of put order."""
-        store = VersionedStore()
-        reference = {}
-        for iteration, value in puts:
-            store.put("main", "k", iteration, value)
-            reference[iteration] = value
-        for bound in range(22):
-            eligible = [i for i in reference if i <= bound]
-            found = store.get_version("main", "k", max_iteration=bound)
-            if eligible:
-                assert found == (max(eligible), reference[max(eligible)])
-            else:
-                assert found is None
+        iteration ≤ b, regardless of put order — in both layouts."""
+        for delta in (False, True):
+            store = VersionedStore(delta_path=delta)
+            reference = {}
+            for iteration, value in puts:
+                store.put("main", "k", iteration, value)
+                reference[iteration] = value
+            for bound in range(22):
+                eligible = [i for i in reference if i <= bound]
+                found = store.get_version("main", "k", max_iteration=bound)
+                if eligible:
+                    assert found == (max(eligible),
+                                     reference[max(eligible)])
+                else:
+                    assert found is None
+
+
+class TestDeltaStore:
+    """Delta-path-only behavior: batched I/O accounting, the pending-log
+    rebase, and the generation-checked snapshot cache."""
+
+    def test_put_many_get_many_roundtrip_and_accounting(self):
+        store = VersionedStore(delta_path=True)
+        written = store.put_many("main", [("a", 1, 10), ("b", 2, 20),
+                                          ("a", 4, 40)])
+        assert written == 3
+        assert store.puts == 3
+        found = store.get_many("main", ["a", "b", "ghost"],
+                               max_iteration=3)
+        assert found == {"a": (1, 10), "b": (2, 20)}
+        assert store.reads == 3           # one charge per key walked
+        store.get_many("main", ["a"], internal=True)
+        assert store.reads == 3
+        assert store.internal_reads == 1
+
+    def test_peek_bills_internal_reads(self):
+        store = VersionedStore(delta_path=True)
+        store.put("main", "k", 1, "v")
+        assert store.peek_version("main", "k") == (1, "v")
+        assert (store.reads, store.internal_reads) == (0, 1)
+
+    def test_snapshot_cache_hits_until_a_put_invalidates(self):
+        store = VersionedStore(delta_path=True)
+        store.put("main", "a", 1, 10)
+        first = store.snapshot("main", max_iteration=5)
+        second = store.snapshot("main", max_iteration=5)
+        assert first == second == {"a": 10}
+        assert (store.cache_misses, store.cache_hits) == (1, 1)
+        second["a"] = 999                 # caller views are copies
+        assert store.snapshot("main", max_iteration=5) == {"a": 10}
+        store.put("main", "a", 7, 70)     # generation bump
+        assert store.snapshot("main", max_iteration=5) == {"a": 10}
+        assert store.cache_misses == 2
+
+    def test_put_many_bumps_generation_once(self):
+        store = VersionedStore(delta_path=True)
+        store.put_many("main", [("a", 1, 10)])
+        store.snapshot("main")
+        store.put_many("main", [("b", 2, 20), ("c", 3, 30)])
+        assert store.snapshot("main") == {"a": 10, "b": 20, "c": 30}
+        assert store.cache_misses == 2
+
+    def test_pending_log_rebases_on_interval_and_reads(self):
+        store = VersionedStore(delta_path=True)
+        for iteration in range(REBASE_INTERVAL):
+            store.put("main", "k", iteration, iteration)
+        assert store.rebases == 1         # interval-triggered, ascending
+        store.put("main", "k", 3, "rewrite")   # out-of-order pending
+        assert store.get("main", "k", max_iteration=3) == "rewrite"
+        assert store.rebases == 2         # read-triggered consolidation
+        assert store.get("main", "k") == REBASE_INTERVAL - 1
+
+    def test_put_if_newer_sees_pending_writes(self):
+        store = VersionedStore(delta_path=True)
+        store.put("main", "k", 5, "newer")     # still in the pending log
+        assert not store.put_if_newer("main", "k", 4, "stale")
+        assert store.put_if_newer("main", "k", 6, "newest")
+        assert store.get("main", "k") == "newest"
+
+    def test_drop_loop_clears_index_and_cache(self):
+        store = VersionedStore(delta_path=True)
+        store.put("branch-1", "k", 1, "v")
+        store.put("main", "k", 1, "kept")
+        store.snapshot("branch-1")
+        assert store.drop_loop("branch-1") == 1
+        assert store.keys("branch-1") == []
+        assert store.snapshot("branch-1") == {}
+        assert store.get("main", "k") == "kept"
+
+    def test_truncate_invalidates_the_snapshot_cache(self):
+        store = VersionedStore(delta_path=True)
+        for iteration in (1, 3, 5):
+            store.put("main", "k", iteration, iteration * 10)
+        assert store.snapshot("main", max_iteration=2) == {"k": 10}
+        assert store.truncate_before("main", 5) == 2
+        # The GC invalidated the cached view: versions 10 and 30 are gone.
+        assert store.snapshot("main", max_iteration=2) == {}
+        assert store.snapshot("main") == {"k": 50}
+
+    def test_version_count_per_loop_and_total(self):
+        store = VersionedStore(delta_path=True)
+        store.put("main", "a", 1, 10)
+        store.put("main", "a", 2, 20)
+        store.put("branch-1", "b", 1, 30)
+        assert store.version_count("main") == 2
+        assert store.version_count("branch-1") == 1
+        assert store.version_count() == 3
+
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.integers(0, 12), st.integers(0, 99)),
+                    min_size=1, max_size=30),
+           st.integers(0, 13))
+    def test_layouts_agree_on_any_workload(self, puts, bound):
+        legacy = VersionedStore(delta_path=False)
+        delta = VersionedStore(delta_path=True)
+        for key, iteration, value in puts:
+            legacy.put("main", key, iteration, value)
+            delta.put("main", key, iteration, value)
+        assert legacy.snapshot("main", max_iteration=bound) \
+            == delta.snapshot("main", max_iteration=bound)
+        assert legacy.version_count("main") == delta.version_count("main")
+        legacy.truncate_before("main", bound)
+        delta.truncate_before("main", bound)
+        assert legacy.snapshot("main") == delta.snapshot("main")
 
 
 class TestBackends:
