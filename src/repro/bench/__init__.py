@@ -10,6 +10,7 @@ from repro.bench.fig7 import run_fig7a, run_fig7b
 from repro.bench.fig8 import run_failure_figure, run_fig8b
 from repro.bench.fig9 import run_fig9
 from repro.bench.harness import ExperimentResult, ShapeCheck, percentile
+from repro.bench.live import run_live_bench
 from repro.bench.perf import run_perf
 from repro.bench.skew import run_skew
 from repro.bench.table1 import run_table1
@@ -42,6 +43,7 @@ __all__ = [
     "run_fig8a",
     "run_fig8b",
     "run_fig9",
+    "run_live_bench",
     "run_perf",
     "run_skew",
     "run_table1",

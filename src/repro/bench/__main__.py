@@ -8,6 +8,8 @@ Usage::
     python -m repro.bench --trace fig8c   # record + print protocol phases
     python -m repro.bench perf --quick    # wall-clock kernel benchmarks
                                           # (writes BENCH_perf.json)
+    python -m repro.bench live            # multiprocessing backend scaling
+                                          # (merges into BENCH_perf.json)
 """
 
 from __future__ import annotations
@@ -20,8 +22,9 @@ from repro.bench import (MEDIUM, SMALL, run_ablation_activation,
                          run_ablation_sampling, run_ablation_storage,
                          run_delta, run_failure_figure, run_fig5,
                          run_fig6a, run_fig6b, run_fig7a, run_fig7b,
-                         run_fig8a, run_fig8b, run_fig9, run_perf,
-                         run_skew, run_table1, run_table2, run_table3)
+                         run_fig8a, run_fig8b, run_fig9, run_live_bench,
+                         run_perf, run_skew, run_table1, run_table2,
+                         run_table3)
 from repro.bench.harness import ExperimentResult
 
 
@@ -53,6 +56,7 @@ def _experiments(scale, trace: bool = False, quick: bool = False
         # measure the host machine, not the simulated cluster.
         "perf": lambda: run_perf(quick=quick),
         "delta": lambda: run_delta(quick=quick),
+        "live": lambda: run_live_bench(quick=quick),
     }
 
 
@@ -65,6 +69,7 @@ def main(argv: list[str]) -> int:
     if not wanted:
         experiments.pop("perf")
         experiments.pop("delta")
+        experiments.pop("live")
     if wanted:
         unknown = [w for w in wanted
                    if not any(k.startswith(w) for k in experiments)]
@@ -76,9 +81,9 @@ def main(argv: list[str]) -> int:
                        if any(k.startswith(w) for w in wanted)}
     failures = 0
     for name, runner in experiments.items():
-        started = time.time()
+        started = time.perf_counter()
         result = runner()
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         print(result.report())
         for bound, table in sorted(
                 result.extras.get("phase_tables", {}).items()):

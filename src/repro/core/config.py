@@ -19,6 +19,15 @@ class TornadoConfig:
     n_nodes: int = 4
     seed: int = 0
 
+    # ------------------------------------------------------------- backend
+    #: Execution backend.  "sim" (default) runs everything on the
+    #: deterministic DES kernel under virtual time.  "live" runs each
+    #: processor in its own OS process (``repro.live``), exchanging the
+    #: same frozen-dataclass protocol messages over multiprocessing
+    #: queues; correctness is cross-checked against the DES run via the
+    #: flight-recorder oracle (``repro.live.oracle``).
+    backend: str = "sim"
+
     # -------------------------------------------------------------- kernel
     #: Kernel fast path: timer wheel for fixed-delay timers, tombstone
     #: compaction in the event heap, same-instant message coalescing.
@@ -121,6 +130,8 @@ class TornadoConfig:
     fork_activation_window: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.backend not in ("sim", "live"):
+            raise ValueError(f"unknown execution backend: {self.backend!r}")
         if self.n_processors < 1:
             raise ValueError("n_processors must be >= 1")
         if self.delay_bound < 1:

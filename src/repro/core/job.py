@@ -51,6 +51,19 @@ class TornadoJob:
     MASTER = "master"
     INGESTER = "ingester"
 
+    def __new__(cls, app: Application | None = None,
+                config: TornadoConfig | None = None) -> "TornadoJob":
+        # Backend dispatch: the same program runs unmodified on either
+        # kernel, so ``TornadoJob(app, TornadoConfig(backend="live"))``
+        # transparently builds the multiprocessing driver.  (CPython's
+        # type_call invokes __init__ on the returned instance's own
+        # class, so LiveJob.__init__ runs instead of ours.)
+        if (cls is TornadoJob and config is not None
+                and getattr(config, "backend", "sim") == "live"):
+            from repro.live.job import LiveJob
+            return super().__new__(LiveJob)
+        return super().__new__(cls)
+
     def __init__(self, app: Application,
                  config: TornadoConfig | None = None) -> None:
         self.app = app

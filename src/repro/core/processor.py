@@ -313,7 +313,7 @@ class Processor(Actor):
                     if protocol.dirty:
                         cost += self._try_prepare(loop, vertex_id)
                     continue
-                for consumer in list(protocol.waiting_list):
+                for consumer in sorted(protocol.waiting_list, key=repr):
                     if self.partition.owner(consumer) != msg.processor:
                         continue
                     prepare = Prepare(loop.name, vertex_id, consumer,
@@ -606,7 +606,7 @@ class Processor(Actor):
                 by_dst.setdefault(dst, []).append(payload)
             if loop is not None:
                 loop.sent_total += updates
-            for dst, payloads in by_dst.items():
+            for dst, payloads in sorted(by_dst.items()):
                 if len(payloads) == 1:
                     self.transport.send(dst, payloads[0], tag=loop_name)
                 else:
@@ -752,12 +752,17 @@ class Processor(Actor):
             # Delta path: park the scatters in the window; the flush
             # accounts sent counters (post-merge, at the merged
             # iteration) and pays the per-envelope cost.
-            for target, data in emitted.items():
+            # Sorted scatter order: ``emitted`` inherits the iteration
+            # order of the program's target set, which varies with hash
+            # randomisation across interpreters (live backend workers).
+            for target, data in sorted(emitted.items(),
+                                       key=lambda kv: repr(kv[0])):
                 self._buffer_scatter(loop, vertex_id, target, iteration,
                                      data)
             cost = self.config.control_cost
         else:
-            for target, data in emitted.items():
+            for target, data in sorted(emitted.items(),
+                                       key=lambda kv: repr(kv[0])):
                 owner = self.partition.owner(target)
                 self.transport.send(owner, VertexUpdate(
                     loop.name, vertex_id, target, iteration, data),

@@ -125,7 +125,11 @@ class VertexProtocol:
         round, because no consumer can report a larger iteration."""
         if not self.dirty or self.preparing or self.prepare_list:
             return []
-        consumer_list = list(consumers)
+        # Sorted fan-out: ``consumers`` is typically the program's target
+        # set, whose iteration order varies with hash randomisation — on
+        # the live backend each worker is its own interpreter, so an
+        # unsorted PREPARE order would differ per process and per run.
+        consumer_list = sorted(consumers, key=repr)
         if skip_prepare or not consumer_list:
             return self._commit()
         self.update_time = clock.tick()

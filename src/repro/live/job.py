@@ -1,0 +1,412 @@
+"""The live job driver: master-process pump loop and worker lifecycle.
+
+:class:`LiveJob` is what ``TornadoJob(app, TornadoConfig(backend="live"))``
+actually constructs.  It hosts the unmodified :class:`Master` and
+:class:`Ingester` actors (plus the authoritative store and checkpoint
+manifest) on a :class:`LiveKernel` in the calling process, spawns one OS
+process per Tornado processor, and runs a ``split_managed``-style pump:
+drain worker queues, run ready actor work, fire wall-clock timers,
+release parked stream feeds when idle, and decide convergence from the
+same :class:`ProgressTracker` evidence the simulator uses.
+
+What it deliberately does **not** support yet: branch-loop queries and
+the live rebalancer (both raise) — the main loop, crash recovery and the
+checkpoint protocol are the load-bearing surface the DES cross-check can
+actually vouch for.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.core.config import TornadoConfig
+from repro.core.ingester import Ingester
+from repro.core.job import TornadoJob
+from repro.core.master import Master, MasterDurableState
+from repro.core.messages import MAIN_LOOP
+from repro.core.partition import PartitionScheme
+from repro.core.vertex import Application
+from repro.errors import QueryError, SimulationError
+from repro.live.kernel import LiveKernel
+from repro.live.transport import MasterNet
+from repro.live.wire import (Collect, FetchStore, FinalReport, Shutdown,
+                             StoreLoad, StoreWrite, Wire, WorkerError,
+                             WorkerSpec)
+from repro.live.worker import worker_main
+from repro.obs import TraceRecorder
+from repro.storage import CheckpointManifest, VersionedStore
+from repro.streams.model import StreamTuple
+
+#: Items drained from one worker's outbound queue per pump pass.
+DRAIN_SLICE = 256
+#: Consecutive idle passes with the convergence predicate true before
+#: the pump declares the run converged.
+IDLE_CONFIRMATIONS = 3
+
+
+@dataclass
+class _WorkerLink:
+    """Master-side handle on one worker process."""
+
+    queue_in: Any
+    queue_out: Any
+    process: Any
+    incarnation: int
+    alive: bool = True
+    #: Set when the driver killed it on purpose (fault injection).
+    expected_down: bool = field(default=False)
+
+
+class LiveJob(TornadoJob):
+    """One Tornado deployment on real OS processes."""
+
+    def __init__(self, app: Application,
+                 config: TornadoConfig | None = None) -> None:
+        # Deliberately no super().__init__: the simulator-side wiring
+        # (Simulator, Network, FailureInjector, in-process Processors)
+        # is replaced wholesale.
+        self.app = app
+        self.config = config if config is not None else TornadoConfig(
+            backend="live")
+        if self.config.rebalance_enabled:
+            raise ValueError(
+                "backend='live' does not support the rebalancer yet")
+        recorder = TraceRecorder(capacity=self.config.trace_capacity,
+                                 enabled=self.config.trace_enabled)
+        self.kernel = LiveKernel(seed=self.config.seed, recorder=recorder)
+        #: Simulator alias so inherited helpers (``trace``, ``metrics``)
+        #: resolve against the live kernel.
+        self.sim = self.kernel
+        self.store = VersionedStore(delta_path=self.config.delta_path)
+        self.manifest = CheckpointManifest()
+        self.durable = MasterDurableState()
+        self._worker_names = [f"proc-{i}"
+                              for i in range(self.config.n_processors)]
+        self.partition = PartitionScheme(self._worker_names)
+        self._links: dict[str, _WorkerLink] = {}
+        self.net = MasterNet(self.kernel, self._links)
+        self.master = Master(self.kernel, self.MASTER, self.config,
+                             self.net, self._worker_names, self.INGESTER,
+                             self.manifest, self.durable, self.partition)
+        self.ingester = Ingester(self.kernel, self.INGESTER, self.config,
+                                 app, self.partition, self.net,
+                                 self.MASTER)
+        #: Final reports gathered by the last :meth:`finalize` barrier.
+        self.reports: dict[str, FinalReport] = {}
+        self._ctx = multiprocessing.get_context("spawn")
+        self._closed = False
+        atexit.register(self.shutdown)
+        for name in self._worker_names:
+            self._spawn(name, incarnation=0, recovering=False)
+
+    # ------------------------------------------------------ worker lifecycle
+    def _spawn(self, name: str, incarnation: int,
+               recovering: bool) -> None:
+        queue_in = self._ctx.Queue()
+        queue_out = self._ctx.Queue()
+        spec = WorkerSpec(name, incarnation, self.app, self.config,
+                          tuple(self._worker_names), recovering)
+        process = self._ctx.Process(
+            target=worker_main, args=(spec, queue_in, queue_out),
+            daemon=True, name=f"tornado-live-{name}")
+        process.start()
+        self._links[name] = _WorkerLink(queue_in, queue_out, process,
+                                        incarnation)
+
+    def kill_worker(self, name: str) -> None:
+        """SIGKILL a worker mid-run (fault injection).  Messages queued
+        toward it are lost — the live analogue of the simulated
+        network's down-actor drop; reliable-transport retransmits and
+        the recovery protocol pick up the pieces after a respawn."""
+        link = self._links[name]
+        link.alive = False
+        link.expected_down = True
+        link.process.kill()
+        link.process.join(timeout=10)
+        link.queue_in.close()
+        link.queue_in.cancel_join_thread()
+
+    def respawn_worker(self, name: str) -> None:
+        """Restart a killed worker as a fresh incarnation.  It hydrates
+        its local store from the master (FetchStore/StoreLoad), announces
+        ``ProcessorRecovered`` and rejoins the protocol."""
+        link = self._links[name]
+        if link.alive:
+            raise ValueError(f"worker {name!r} is still alive")
+        self._spawn(name, incarnation=link.incarnation + 1,
+                    recovering=True)
+
+    def _check_workers(self) -> None:
+        for name, link in self._links.items():
+            if link.alive and link.process.exitcode is not None:
+                link.alive = False
+                self._drain_link(link)  # surface a WorkerError if any
+                raise RuntimeError(
+                    f"live worker {name!r} died unexpectedly "
+                    f"(exit code {link.process.exitcode})")
+
+    # ------------------------------------------------------------- the pump
+    def _handle_item(self, item: Any) -> None:
+        if isinstance(item, Wire):
+            actor = self.kernel.actors.get(item.dst)
+            if actor is not None:
+                self.kernel.observe(item.stamp)
+                actor.deliver(item.payload, item.src)
+            else:
+                self.net.forward(item)
+        elif isinstance(item, StoreWrite):
+            for loop, key, iteration, value in item.entries:
+                self.store.put(loop, key, iteration, value)
+            for loop, iteration in item.frontiers:
+                self.manifest.record_flush(loop, item.processor, iteration)
+        elif isinstance(item, FetchStore):
+            link = self._links.get(item.processor)
+            if link is not None and link.alive:
+                link.queue_in.put(
+                    StoreLoad(tuple(self.store.export_versions())))
+        elif isinstance(item, FinalReport):
+            self.reports[item.processor] = item
+        elif isinstance(item, WorkerError):
+            raise RuntimeError(
+                f"live worker {item.processor!r} "
+                f"(incarnation {item.incarnation}) failed:\n{item.error}")
+
+    def _drain_link(self, link: _WorkerLink) -> int:
+        drained = 0
+        for _ in range(DRAIN_SLICE):
+            try:
+                item = link.queue_out.get_nowait()
+            except queue.Empty:
+                break
+            drained += 1
+            self._handle_item(item)
+        return drained
+
+    def _pump_once(self) -> bool:
+        """One pump pass; returns whether any work happened."""
+        progressed = 0
+        for link in self._links.values():
+            if link.alive or link.expected_down:
+                progressed += self._drain_link(link)
+        progressed += self.kernel.run_ready(limit=4096)
+        progressed += self.kernel.fire_due_timers()
+        return progressed > 0
+
+    def _converged(self) -> bool:
+        tracker = self.master.trackers.get(MAIN_LOOP)
+        if tracker is None or not tracker.started or not tracker.converged:
+            return False
+        if self.kernel.parked_count or self.kernel.ready_count:
+            return False
+        return (self.master.transport.unacked == 0
+                and self.ingester.transport.unacked == 0)
+
+    def run_until_converged(self, timeout: float = 120.0) -> float:
+        """Pump until the main loop converges (same evidence as the
+        simulator: tracker watermarks, unacked and buffered counts).
+        Returns the wall-clock seconds spent.  Raises ``TimeoutError``
+        with diagnostics if convergence is not reached in time."""
+        started = time.monotonic()
+        deadline = started + timeout
+        idle_confirmations = 0
+        while True:
+            self._check_workers()
+            if self._pump_once():
+                idle_confirmations = 0
+                continue
+            if not self.kernel.ready_count and self.kernel.parked_count:
+                self.kernel.release_parked()
+                continue
+            if self._converged():
+                idle_confirmations += 1
+                if idle_confirmations >= IDLE_CONFIRMATIONS:
+                    return time.monotonic() - started
+            else:
+                idle_confirmations = 0
+            if time.monotonic() >= deadline:
+                tracker = self.master.trackers.get(MAIN_LOOP)
+                raise TimeoutError(
+                    "live run did not converge within "
+                    f"{timeout:.0f}s (tracker started="
+                    f"{getattr(tracker, 'started', None)}, parked="
+                    f"{self.kernel.parked_count}, master unacked="
+                    f"{self.master.transport.unacked}, ingester unacked="
+                    f"{self.ingester.transport.unacked})")
+            time.sleep(0.002)
+
+    def pump_for(self, seconds: float) -> None:
+        """Pump the deployment for a wall-clock duration (the live
+        analogue of ``run_for`` — used to get a run mid-flight before
+        injecting a fault)."""
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            self._check_workers()
+            if self._pump_once():
+                continue
+            if not self.kernel.ready_count and self.kernel.parked_count:
+                self.kernel.release_parked()
+                continue
+            time.sleep(0.002)
+
+    # ------------------------------------------------------------- feeding
+    def feed(self, tuples: Iterable[StreamTuple]) -> int:
+        return self.ingester.schedule_stream(tuples)
+
+    # ----------------------------------------------------- sim-API surface
+    def run(self, until: float | None = None) -> float:
+        if until is not None:
+            raise SimulationError(
+                "backend='live' has no virtual clock; use "
+                "run_until_converged() or pump_for()")
+        return self.run_until_converged()
+
+    def run_for(self, duration: float) -> float:
+        self.pump_for(duration)
+        return self.kernel.now
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_events: int = 50_000_000) -> float:
+        raise SimulationError(
+            "backend='live' has no virtual clock; use "
+            "run_until_converged() or pump_for()")
+
+    def run_until_quiescent(self, extra: float = 0.0) -> float:
+        self.run_until_converged()
+        if extra:
+            self.pump_for(extra)
+        return self.kernel.now
+
+    def query(self, full_activation: bool = False) -> int:
+        raise QueryError(
+            "branch-loop queries are not supported on backend='live' yet"
+            " (see DESIGN.md §3h)")
+
+    query_and_wait = query
+
+    def wait_for_query(self, query_id: int,
+                       max_events: int = 50_000_000):
+        raise QueryError(
+            "branch-loop queries are not supported on backend='live' yet")
+
+    def endpoints(self) -> list:
+        return [self.master.transport, self.ingester.transport]
+
+    # ----------------------------------------------------------- finalizing
+    def finalize(self, timeout: float = 30.0) -> dict[str, FinalReport]:
+        """Collect barrier: ask every live worker for its final report
+        (in-memory values, loop totals, trace phase counts)."""
+        self.reports = {}
+        wanted = {name for name, link in self._links.items() if link.alive}
+        for name in wanted:
+            self._links[name].queue_in.put(Collect())
+        deadline = time.monotonic() + timeout
+        while wanted - set(self.reports):
+            self._check_workers()
+            if time.monotonic() >= deadline:
+                missing = sorted(wanted - set(self.reports))
+                raise TimeoutError(f"no FinalReport from {missing}")
+            if not self._pump_once():
+                time.sleep(0.002)
+        return self.reports
+
+    def main_values(self) -> dict[Any, Any]:
+        if not self.reports:
+            self.finalize()
+        merged: dict[Any, Any] = {}
+        for report in self.reports.values():
+            for vertex_id, value in report.main_values:
+                merged[vertex_id] = value
+        # Same fallback as the simulator job: vertices whose owner died
+        # and whose state only survives in the (master's) store.
+        for vertex_id, (value, _targets) in self.store.snapshot(
+                MAIN_LOOP, internal=True).items():
+            if vertex_id not in merged:
+                merged[vertex_id] = value
+        return merged
+
+    def loop_totals(self, loop: str) -> dict[str, int]:
+        if not self.reports:
+            self.finalize()
+        totals = {"commits": 0, "sent": 0, "gathered": 0, "prepares": 0}
+        for report in self.reports.values():
+            for name, entry in report.loop_totals:
+                if name != loop:
+                    continue
+                totals["commits"] += entry[0]
+                totals["sent"] += entry[1]
+                totals["gathered"] += entry[2]
+                totals["prepares"] += entry[3]
+        return totals
+
+    @property
+    def total_commits(self) -> int:
+        return self._total_index(0)
+
+    @property
+    def total_prepares(self) -> int:
+        return self._total_index(3)
+
+    @property
+    def total_updates_gathered(self) -> int:
+        return self._total_index(2)
+
+    def _total_index(self, index: int) -> int:
+        if not self.reports:
+            self.finalize()
+        return sum(entry[index] for report in self.reports.values()
+                   for _name, entry in report.loop_totals)
+
+    def trace_phase_counts(self) -> dict[str, int]:
+        """Protocol-phase totals merged across the master recorder and
+        every worker's final report — the live side of the oracle."""
+        if not self.reports:
+            self.finalize()
+        merged = dict(self.kernel.trace.phase_counts())
+        for report in self.reports.values():
+            for key, count in report.trace_counts:
+                merged[key] = merged.get(key, 0) + count
+        return dict(sorted(merged.items()))
+
+    def main_frontier(self) -> int:
+        tracker = self.master.trackers.get(MAIN_LOOP)
+        return tracker.frontier if tracker is not None else 0
+
+    # ------------------------------------------------------------- shutdown
+    def shutdown(self) -> None:
+        """Stop every worker process and release the queues.  Idempotent;
+        also registered with ``atexit`` so an aborted test run cannot
+        leak orphan processes."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.shutdown)
+        for link in self._links.values():
+            if link.alive:
+                try:
+                    link.queue_in.put_nowait(Shutdown())
+                except (ValueError, OSError):
+                    pass
+        for link in self._links.values():
+            link.process.join(timeout=5)
+            if link.process.exitcode is None:
+                link.process.kill()
+                link.process.join(timeout=5)
+            for q in (link.queue_in, link.queue_out):
+                try:
+                    q.close()
+                    q.cancel_join_thread()
+                except (ValueError, OSError):
+                    pass
+
+    close = shutdown
+
+    def __enter__(self) -> "LiveJob":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

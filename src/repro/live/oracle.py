@@ -1,0 +1,132 @@
+"""The live-vs-DES cross-check oracle.
+
+Claim being checked: a live (multiprocessing) run of a job and a
+simulated (DES) run of the *same program with the same seed* agree on
+
+* the final main-loop vertex state (always — this is the correctness
+  floor); and
+* the protocol-phase **totals** — commits, updates sent/gathered,
+  prepares, inputs — when the workload makes those totals deterministic
+  (synchronous mode ``delay_bound=1`` on tree-shaped dataflow, where
+  every link is a single-producer FIFO and gather sequences are
+  therefore forced; see DESIGN.md §3h for why general graphs only get
+  final-state equality: under ``skip_prepare`` a commit happens per
+  *changing* gather, and multi-producer arrival interleavings — which
+  neither backend pins down — change how many gathers change a value).
+
+The digest deliberately excludes wall-clock time, queue timings, Lamport
+stamps and raw event order: those differ between backends by
+construction.  Everything hashed first passes through :func:`_canon`,
+which rebuilds containers in sorted order — dict/set iteration order is
+not comparable across OS processes under hash randomisation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+from repro.core.messages import MAIN_LOOP
+
+#: Phases whose totals the oracle compares.  ``protocol.delay_buffered``
+#: is deliberately absent: whether an update buffers in the delay window
+#: depends on when the master's termination notice lands relative to the
+#: update — pure arrival timing, different between backends by
+#: construction (and between two live runs).  The three protocol phases
+#: and commits are the causally forced quantities.
+DETERMINISTIC_PHASES = ("protocol.update", "protocol.prepare",
+                        "protocol.ack", "protocol.commit")
+
+
+def _canon(value: Any) -> Any:
+    """Rebuild ``value`` as a deterministic, order-independent structure
+    (nested tuples) suitable for comparison and hashing across
+    processes."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,
+                tuple((f.name, _canon(getattr(value, f.name)))
+                      for f in fields(value)))
+    if isinstance(value, dict):
+        return ("dict", tuple(sorted(
+            ((_canon(k), _canon(v)) for k, v in value.items()),
+            key=repr)))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted((_canon(v) for v in value), key=repr)))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon(v) for v in value)
+    if isinstance(value, float):
+        # repr() round-trips doubles exactly; -0.0 and 0.0 compare equal
+        # but repr differently, so normalise the one case where IEEE
+        # equality and bit identity disagree.
+        return repr(value + 0.0 if value == 0.0 else value)
+    return value
+
+
+def _phase_counts(job: Any) -> dict[str, int]:
+    if hasattr(job, "trace_phase_counts"):   # LiveJob: master + workers
+        counts = job.trace_phase_counts()
+    else:
+        counts = job.trace.phase_counts()
+    return {key: count for key, count in counts.items()
+            if key.split(":", 1)[0] in DETERMINISTIC_PHASES}
+
+
+def _inputs_gathered(job: Any) -> int:
+    tracker = job.master.trackers.get(MAIN_LOOP)
+    return tracker.total_inputs() if tracker is not None else 0
+
+
+def job_fingerprint(job: Any, loop: str = MAIN_LOOP,
+                    include_counts: bool = True) -> dict[str, Any]:
+    """Backend-independent summary of a finished run.  Values pass
+    through the program's ``snapshot_value`` (idempotent) so both
+    backends normalise state the same way."""
+    program = job.app.program
+    values = {vertex_id: program.snapshot_value(value)
+              for vertex_id, value in job.main_values().items()}
+    fingerprint: dict[str, Any] = {"main_values": _canon(values)}
+    if include_counts:
+        fingerprint["loop_totals"] = _canon(job.loop_totals(loop))
+        fingerprint["inputs_gathered"] = _inputs_gathered(job)
+        fingerprint["phase_counts"] = _canon(_phase_counts(job))
+    return fingerprint
+
+
+def canonical_digest(job: Any, loop: str = MAIN_LOOP,
+                     include_counts: bool = True) -> str:
+    """SHA-256 over the canonicalised fingerprint — stable across
+    processes, hash seeds and backends (to the extent the fingerprinted
+    quantities are deterministic; see the module docstring)."""
+    fingerprint = job_fingerprint(job, loop=loop,
+                                  include_counts=include_counts)
+    blob = repr(tuple(sorted(((k, v) for k, v in fingerprint.items()),
+                             key=repr)))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def cross_check(live_job: Any, sim_job: Any, loop: str = MAIN_LOOP,
+                include_counts: bool = True) -> dict[str, Any]:
+    """Compare a live run against its DES replay.  Returns a report
+    (``ok``, per-section ``mismatches``, both digests); raises
+    ``AssertionError`` with the report when they disagree, so tests can
+    use it bare."""
+    live = job_fingerprint(live_job, loop=loop,
+                           include_counts=include_counts)
+    sim = job_fingerprint(sim_job, loop=loop,
+                          include_counts=include_counts)
+    mismatches = [key for key in live if live[key] != sim.get(key)]
+    report = {
+        "ok": not mismatches,
+        "mismatches": mismatches,
+        "live_digest": canonical_digest(live_job, loop=loop,
+                                        include_counts=include_counts),
+        "sim_digest": canonical_digest(sim_job, loop=loop,
+                                       include_counts=include_counts),
+    }
+    if mismatches:
+        detail = "; ".join(
+            f"{key}: live={live[key]!r} sim={sim.get(key)!r}"
+            for key in mismatches)
+        raise AssertionError(f"live/sim cross-check failed — {detail}")
+    return report

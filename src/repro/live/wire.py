@@ -1,0 +1,119 @@
+"""Cross-process message envelopes and control frames.
+
+Everything that crosses a process boundary is a frozen dataclass built
+from plain data — the pickle round-trip test over the full message
+vocabulary (``tests/test_live_pickle.py``) keeps it that way.  Two
+families travel on the queues:
+
+* :class:`Wire` wraps one actor-bound protocol message from
+  ``core/messages.py`` (usually a transport ``Envelope`` or
+  ``TransportAck``) with its source, destination and the sender's Lamport
+  stamp; the receiver merges the stamp into its own clock, which yields
+  the virtual ordering the flight recorder stamps events with.
+* Control frames (:class:`StoreWrite`, :class:`FetchStore`,
+  :class:`StoreLoad`, :class:`Collect`, :class:`FinalReport`,
+  :class:`Shutdown`, :class:`WorkerError`) are handled by the master pump
+  or the worker loop directly, outside the actor inbox — they are the
+  live backend's replacements for the shared-memory objects the simulator
+  could simply pass by reference (the store, the manifest, final state
+  inspection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Wire:
+    """One protocol message in flight between processes."""
+
+    src: str
+    dst: str
+    #: Sender's Lamport counter at send time (merged on receipt).
+    stamp: int
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class StoreWrite:
+    """Write-behind checkpoint shipping: the journal of versions a worker
+    flushed, bound for the master's authoritative store.  Rides the same
+    FIFO queue as the progress reports that follow it, so by the time the
+    master processes a report, the versions it covers have landed — the
+    paper's flush-before-report invariant, end to end."""
+
+    processor: str
+    seq: int
+    #: ``(loop, key, iteration, value)`` tuples.
+    entries: tuple
+    #: ``(loop, iteration)`` durable frontiers as of this flush.
+    frontiers: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class FetchStore:
+    """A respawned worker asks the master for its checkpoint state."""
+
+    processor: str
+
+
+@dataclass(frozen=True, slots=True)
+class StoreLoad:
+    """Master → worker: full version dump re-seeding a respawned worker's
+    local store (``(loop, key, iteration, value)`` tuples)."""
+
+    entries: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Collect:
+    """Finalize barrier: asks a worker to drain its ready queue and reply
+    with a :class:`FinalReport`."""
+
+
+@dataclass(frozen=True, slots=True)
+class FinalReport:
+    """A worker's end-of-run summary: final in-memory main-loop values,
+    per-loop protocol totals and flight-recorder phase counts."""
+
+    processor: str
+    incarnation: int
+    #: Sorted ``(vertex_id, snapshot_value)`` pairs of the main loop.
+    main_values: tuple
+    #: Sorted ``(loop, (commits, sent, gathered, prepares, inputs))``.
+    loop_totals: tuple
+    #: Sorted ``(phase_key, count)`` pairs from the worker's recorder.
+    trace_counts: tuple
+    events_processed: int
+    retransmissions: int
+    trace_evicted: int
+
+
+@dataclass(frozen=True, slots=True)
+class Shutdown:
+    """Orderly worker exit."""
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerError:
+    """A worker's main loop raised; ``error`` carries the traceback text.
+    The master pump re-raises on receipt."""
+
+    processor: str
+    incarnation: int
+    error: str
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerSpec:
+    """Everything a spawned worker needs to build its runtime (must be
+    picklable: the spawn start method re-imports and unpickles it)."""
+
+    name: str
+    incarnation: int
+    app: Any
+    config: Any
+    worker_names: tuple
+    recovering: bool

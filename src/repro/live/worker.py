@@ -1,0 +1,167 @@
+"""The worker process: one unmodified ``Processor`` behind two queues.
+
+Spawned (not forked) so each worker is a genuinely fresh interpreter —
+which is also why the determinism bug batch matters: with hash
+randomisation, any set-iteration-order dependence in the protocol hot
+paths would make two workers disagree on scatter order.
+
+The loop is event-driven: block on the inbound queue with a timeout
+bounded by the kernel's next wall-clock timer (retransmits, report
+ticks), interleave queue drains with bounded ready-FIFO runs so a busy
+compute phase cannot starve message intake, and answer the master's
+control frames (StoreLoad hydration, Collect barrier, Shutdown) outside
+the actor inbox.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+import traceback
+from typing import Any
+
+from repro.core.messages import MAIN_LOOP
+from repro.core.partition import PartitionScheme
+from repro.core.processor import Processor
+from repro.live.kernel import LiveKernel
+from repro.live.store import LiveBackend, WorkerStore
+from repro.live.transport import LiveTransport, WorkerNet
+from repro.live.wire import (Collect, FinalReport, Shutdown, StoreLoad,
+                             FetchStore, Wire, WorkerError, WorkerSpec)
+from repro.obs import TraceRecorder
+
+MASTER_NAME = "master"
+
+#: How long a recovering worker waits for its StoreLoad before giving up.
+HYDRATION_TIMEOUT = 60.0
+#: Ready-FIFO callbacks run per queue poll (bounds intake starvation).
+READY_SLICE = 512
+#: Idle poll ceiling so timer deadlines are re-checked regularly.
+IDLE_POLL = 0.05
+
+
+def build_final_report(processor: Processor, kernel: LiveKernel,
+                       incarnation: int) -> FinalReport:
+    """Snapshot the worker's end-of-run state for the Collect barrier."""
+    program = processor.app.program
+    main = processor.loops.get(MAIN_LOOP)
+    values: tuple = ()
+    if main is not None:
+        values = tuple(sorted(
+            ((vertex_id, program.snapshot_value(state.value))
+             for vertex_id, state in main.vertices.items()),
+            key=lambda kv: repr(kv[0])))
+    totals: dict[str, tuple[int, int, int, int, int]] = {}
+    for name, loop in processor.loops.items():
+        totals[name] = (loop.commits_total, loop.sent_total,
+                        loop.gathered_total, loop.prepares_recorded,
+                        loop.inputs_gathered)
+    for name, entry in processor.loop_archive.items():
+        if name not in totals:
+            totals[name] = (entry[0], entry[1], entry[2], entry[3], 0)
+    return FinalReport(
+        processor=processor.name,
+        incarnation=incarnation,
+        main_values=values,
+        loop_totals=tuple(sorted(totals.items())),
+        trace_counts=tuple(sorted(kernel.trace.phase_counts().items())),
+        events_processed=kernel.events_processed,
+        retransmissions=processor.transport.retransmissions,
+        trace_evicted=kernel.trace.evicted,
+    )
+
+
+def _await_store_load(inbound: Any, stash: list[Any]) -> StoreLoad | None:
+    """Block until the master's StoreLoad arrives, stashing any other
+    frames (peers may already be sending) for delivery after hydration."""
+    deadline = time.monotonic() + HYDRATION_TIMEOUT
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError("no StoreLoad within hydration timeout")
+        try:
+            item = inbound.get(timeout=min(remaining, 1.0))
+        except queue.Empty:
+            continue
+        if isinstance(item, StoreLoad):
+            return item
+        if isinstance(item, Shutdown):
+            return None
+        stash.append(item)
+
+
+def worker_main(spec: WorkerSpec, inbound: Any, outbound: Any) -> None:
+    """Process entrypoint (must stay importable at module top level:
+    the spawn start method pickles it by reference)."""
+    config = spec.config
+    try:
+        recorder = TraceRecorder(capacity=config.trace_capacity,
+                                 enabled=config.trace_enabled)
+        kernel = LiveKernel(seed=config.seed, recorder=recorder)
+        net = WorkerNet(kernel, spec.name, outbound)
+        partition = PartitionScheme(list(spec.worker_names))
+        store = WorkerStore(delta_path=config.delta_path)
+        backend = LiveBackend(store, net, spec.name)
+        processor = Processor(kernel, spec.name, config, spec.app,
+                              partition, store, backend, net, MASTER_NAME,
+                              manifest=None)
+        # Swap in the incarnation-namespaced transport before any message
+        # flows (see repro.live.transport: a respawn must not reuse ids
+        # its peers' dedup windows remember).
+        processor.transport = LiveTransport(
+            kernel, net, spec.name, timeout=config.retransmit_timeout,
+            incarnation=spec.incarnation)
+
+        stash: list[Any] = []
+        if spec.recovering:
+            net.send_control(FetchStore(spec.name))
+            load = _await_store_load(inbound, stash)
+            if load is None:
+                return
+            store.hydrate(load.entries)
+            # Same sequence as Actor.recover: announce, then restart the
+            # report tick; the master replies with RecoverLoops.
+            processor.on_recover()
+        else:
+            processor.start()
+
+        collect_pending = False
+        running = True
+        while running:
+            item: Any = None
+            if stash:
+                item = stash.pop(0)
+            else:
+                if kernel.ready_count:
+                    try:
+                        item = inbound.get_nowait()
+                    except queue.Empty:
+                        item = None
+                else:
+                    delay = kernel.next_timer_delay()
+                    timeout = IDLE_POLL if delay is None \
+                        else max(0.0, min(delay, IDLE_POLL))
+                    try:
+                        item = inbound.get(timeout=timeout)
+                    except queue.Empty:
+                        item = None
+            if isinstance(item, Wire):
+                kernel.observe(item.stamp)
+                processor.deliver(item.payload, item.src)
+            elif isinstance(item, Collect):
+                collect_pending = True
+            elif isinstance(item, Shutdown):
+                running = False
+            kernel.run_ready(limit=READY_SLICE)
+            kernel.fire_due_timers()
+            if collect_pending and not kernel.ready_count and not stash:
+                # FIFO guarantees everything sent before the Collect has
+                # been dequeued; with the ready queue drained the counters
+                # and values below are final.
+                outbound.put(build_final_report(processor, kernel,
+                                                spec.incarnation))
+                collect_pending = False
+    except Exception:  # pragma: no cover - surfaced by the master pump
+        outbound.put(WorkerError(spec.name, spec.incarnation,
+                                 traceback.format_exc()))
+        raise

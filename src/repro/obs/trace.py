@@ -150,6 +150,25 @@ class TraceRecorder:
             tally[key] = tally.get(key, 0) + 1
         return dict(sorted(tally.items()))
 
+    def phase_counts(self, categories: tuple[str, ...] = ("protocol",)
+                     ) -> dict[str, int]:
+        """Per-loop protocol-phase totals keyed ``category.name:loop`` —
+        the flight-recorder side of the live-vs-sim cross-check.  Only
+        category, name and the ``loop`` field enter the key: timestamps,
+        sequence numbers and actors are excluded deliberately, because
+        the live backend's arrival interleaving (and its Lamport-derived
+        clock) is racy while the per-phase totals are not."""
+        tally: dict[str, int] = {}
+        for event in self._ring:
+            if event.category not in categories:
+                continue
+            loop = event.field("loop")
+            key = f"{event.category}.{event.name}"
+            if loop is not None:
+                key = f"{key}:{loop}"
+            tally[key] = tally.get(key, 0) + 1
+        return dict(sorted(tally.items()))
+
     # ---------------------------------------------------------------- dumps
     def dump(self) -> str:
         """Canonical text dump: one line per retained event.  Two runs with

@@ -360,6 +360,29 @@ class VersionedStore:
                 dropped += chain.truncate_before(iteration)
         return dropped
 
+    def export_versions(self) -> list[tuple[str, Any, int, Any]]:
+        """Every ``(loop, key, iteration, value)`` version in the store —
+        the hydration feed for live-backend worker recovery (the worker's
+        local store died with its process; the master's authoritative
+        copy re-seeds it).  A housekeeping walk: counts as internal."""
+        out: list[tuple[str, Any, int, Any]] = []
+        if self.delta_path:
+            groups: Iterable[tuple[str, dict[Any, _Chain]]] \
+                = self._loops.items()
+            for loop, chains in groups:
+                for key, chain in chains.items():
+                    self._settle(chain)
+                    out.extend((loop, key, iteration, value)
+                               for iteration, value
+                               in zip(chain.iterations, chain.values))
+        else:
+            for (loop, key), chain in self._chains.items():
+                out.extend((loop, key, iteration, value)
+                           for iteration, value
+                           in zip(chain.iterations, chain.values))
+        self.internal_reads += len(out)
+        return out
+
     def version_count(self, loop: str | None = None) -> int:
         if self.delta_path:
             if loop is None:

@@ -75,4 +75,5 @@ class TestQuickExperiments:
         assert "perf" in experiments
         assert "skew" in experiments
         assert "delta" in experiments
-        assert len(experiments) == 21
+        assert "live" in experiments
+        assert len(experiments) == 22

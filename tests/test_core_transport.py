@@ -134,3 +134,95 @@ class TestReliableTransport:
         sim.schedule(0.4, b.recover)
         sim.run(until=5.0)
         assert b.received.count("dup-risk") >= 1
+
+
+class TestRetransmitTimerHygiene:
+    """Regression pins: every path that forgets an unacked message must
+    also cancel its retransmit timer.  An orphaned timer re-fires
+    forever — harmless-looking in short sims, a slow leak (and ghost
+    retransmissions to restarted peers) in long live runs."""
+
+    def make_pair(self, **net_kwargs):
+        sim = Simulator()
+        network = Network(sim, **net_kwargs)
+        a = Endpoint(sim, "a", network)
+        b = Endpoint(sim, "b", network)
+        return sim, network, a, b
+
+    def test_ack_cancels_retransmit_timer(self):
+        sim, _net, a, b = self.make_pair(latency=0.01)
+        a.transport.send("b", "hello")
+        sim.run(until=0.1)  # delivered + acked well inside the timeout
+        assert a.transport.unacked == 0
+        # Run far past many timeout periods: a live timer would fire.
+        sim.run(until=30.0)
+        assert a.transport.retransmissions == 0
+        assert b.received == ["hello"]
+        # The wheel is genuinely empty — no tombstones left ticking.
+        assert sim.pending_events == 0
+
+    def test_purge_unacked_cancels_timers(self):
+        sim, _net, a, b = self.make_pair(latency=0.01)
+        b.fail()
+        a.transport.send("b", "doomed-1")
+        a.transport.send("b", "doomed-2")
+        sim.run(until=0.1)
+        assert a.transport.purge_unacked("b", kinds=(str,)) == 2
+        assert a.transport.unacked == 0
+        base = a.transport.retransmissions
+        sim.schedule(1.0, b.recover)
+        sim.run(until=30.0)
+        # No ghost retransmissions after the purge, and the recovered
+        # receiver never sees the purged payloads.
+        assert a.transport.retransmissions == base
+        assert b.received == []
+        assert sim.pending_events == 0
+
+    def test_purge_is_selective_by_kind(self):
+        sim, _net, a, b = self.make_pair(latency=0.01)
+        b.fail()
+        a.transport.send("b", "stale-string")
+        a.transport.send("b", 42)
+        sim.run(until=0.1)
+        assert a.transport.purge_unacked("b", kinds=(str,)) == 1
+        assert a.transport.unacked == 1
+        sim.schedule(1.0, b.recover)
+        sim.run(until=30.0)
+        # The surviving message is still retransmitted to delivery.
+        assert b.received == [42]
+        assert a.transport.unacked == 0
+
+    def test_purge_without_filter_purges_nothing(self):
+        sim, _net, a, b = self.make_pair(latency=0.01)
+        b.fail()
+        a.transport.send("b", "kept")
+        sim.run(until=0.1)
+        assert a.transport.purge_unacked("b") == 0
+        assert a.transport.unacked == 1
+        sim.schedule(1.0, b.recover)
+        sim.run(until=30.0)
+        assert b.received == ["kept"]
+
+    def test_clear_cancels_every_timer(self):
+        sim, _net, a, b = self.make_pair(latency=0.01)
+        b.fail()
+        for i in range(5):
+            a.transport.send("b", f"msg-{i}")
+        sim.run(until=0.6)  # at least one retransmit round has fired
+        fired = a.transport.retransmissions
+        assert fired >= 5
+        a.transport.clear()
+        sim.schedule(1.0, b.recover)
+        sim.run(until=30.0)
+        assert a.transport.retransmissions == fired
+        assert b.received == []
+        assert sim.pending_events == 0
+
+    def test_tags_released_on_purge(self):
+        sim, _net, a, b = self.make_pair(latency=0.01)
+        b.fail()
+        a.transport.send("b", "tagged", tag="main")
+        sim.run(until=0.1)
+        assert a.transport.pending_by_tag.get("main") == 1
+        a.transport.purge_unacked("b", kinds=(str,))
+        assert "main" not in a.transport.pending_by_tag
