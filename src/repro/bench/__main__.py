@@ -10,6 +10,10 @@ Usage::
                                           # (writes BENCH_perf.json)
     python -m repro.bench live            # multiprocessing backend scaling
                                           # (merges into BENCH_perf.json)
+    python -m repro.bench scale --quick   # columnar store vs object store
+                                          # at R-MAT scale (merges into
+                                          # BENCH_perf.json; add
+                                          # --check-baseline in CI)
 """
 
 from __future__ import annotations
@@ -23,12 +27,13 @@ from repro.bench import (MEDIUM, SMALL, run_ablation_activation,
                          run_delta, run_failure_figure, run_fig5,
                          run_fig6a, run_fig6b, run_fig7a, run_fig7b,
                          run_fig8a, run_fig8b, run_fig9, run_live_bench,
-                         run_perf, run_skew, run_table1, run_table2,
-                         run_table3)
+                         run_perf, run_scale, run_skew, run_table1,
+                         run_table2, run_table3)
 from repro.bench.harness import ExperimentResult
 
 
-def _experiments(scale, trace: bool = False, quick: bool = False
+def _experiments(scale, trace: bool = False, quick: bool = False,
+                 check_baseline: bool = False
                  ) -> dict[str, Callable[[], ExperimentResult]]:
     return {
         "table1": lambda: run_table1(scale),
@@ -57,6 +62,8 @@ def _experiments(scale, trace: bool = False, quick: bool = False
         "perf": lambda: run_perf(quick=quick),
         "delta": lambda: run_delta(quick=quick),
         "live": lambda: run_live_bench(quick=quick),
+        "scale": lambda: run_scale(quick=quick,
+                                   check_baseline=check_baseline),
     }
 
 
@@ -64,12 +71,15 @@ def main(argv: list[str]) -> int:
     scale = MEDIUM if "--medium" in argv else SMALL
     trace = "--trace" in argv
     quick = "--quick" in argv
+    check_baseline = "--check-baseline" in argv
     wanted = [a for a in argv if not a.startswith("-")]
-    experiments = _experiments(scale, trace=trace, quick=quick)
+    experiments = _experiments(scale, trace=trace, quick=quick,
+                               check_baseline=check_baseline)
     if not wanted:
         experiments.pop("perf")
         experiments.pop("delta")
         experiments.pop("live")
+        experiments.pop("scale")
     if wanted:
         unknown = [w for w in wanted
                    if not any(k.startswith(w) for k in experiments)]

@@ -1,0 +1,206 @@
+"""Numpy interpretation of algebra programs (the columnar apply path).
+
+Two layers, both gated by ``TornadoConfig.columnar``:
+
+* :func:`make_combine_kernel` — an exact numpy re-interpretation of an
+  :class:`~repro.core.dsl.Algebra` whose :class:`VectorSpec` declares
+  its arithmetic.  The processor's per-update gather keeps its event
+  ordering, ``changed`` flags and trace stream (those are
+  digest-visible), but the slot reduction inside it runs as one array
+  reduce once a vertex has enough offers.  Exactness matters more than
+  elegance: float64 min/max over the same operands is bit-identical to
+  Python ``min``/``max``, results are unboxed back to plain Python
+  scalars before they touch vertex state, and anything the kernel
+  cannot represent falls back to the scalar closure — which is why the
+  flight-recorder digest oracle holds with the kernel on.
+
+* :class:`BulkRunner` — whole-graph sweeps for the synchronous bulk
+  regime (``repro.bench scale``): a full iteration of PageRank / SSSP /
+  connected components is a handful of ``bincount`` /
+  ``np.minimum.at`` passes over edge arrays, and each iteration's
+  changed vertices commit to the versioned store as one column slab
+  (``put_columns``).  This is where the per-vertex Python object cost
+  actually disappears; the protocol path above only borrows the
+  arithmetic.  The runner is deliberately clock-free (``repro.core``
+  must stay deterministic); the bench harness times the yielded steps.
+
+This module is the one place in ``repro.core`` allowed to import numpy
+at module top level (lint-enforced) — everything else reaches it lazily
+through the ``columnar`` gate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.dsl import Algebra
+
+#: Below this many slots the scalar reduction wins on constant factors;
+#: above it the array reduce takes over.  Either way the value computed
+#: is bit-identical, so the threshold is a pure tuning knob.
+VECTOR_MIN_SLOTS = 8
+
+_REDUCERS = {"min": np.minimum, "max": np.maximum}
+_DTYPES = {"float64": np.float64, "bool": np.bool_, "int64": np.int64}
+
+
+def make_combine_kernel(algebra: Algebra):
+    """Exact numpy ``combine`` for an algebra with a vector spec, or
+    ``None`` when the algebra declares none (or an unknown shape).
+
+    The returned closure is a drop-in for ``algebra.combine``: same
+    arguments, bit-identical results, plain Python return types.
+    """
+    spec = algebra.vector_spec
+    if spec is None:
+        return None
+    if spec.reduce not in ("min", "max", "any") or spec.dtype not in _DTYPES:
+        return None
+    scalar = algebra.combine
+    dtype = _DTYPES[spec.dtype]
+    source = spec.source
+    source_value = spec.source_value
+    cap = spec.cap
+    empty = spec.empty
+    include_self = spec.include_self
+
+    if spec.reduce == "any":
+        def combine(vertex_id: Any, slots: dict) -> Any:
+            if source is not None and vertex_id == source:
+                return source_value
+            count = len(slots)
+            if count < VECTOR_MIN_SLOTS:
+                return scalar(vertex_id, slots)
+            try:
+                offers = np.fromiter(slots.values(), dtype=dtype,
+                                     count=count)
+            except (TypeError, ValueError):
+                return scalar(vertex_id, slots)
+            return bool(offers.any())
+        return combine
+
+    reducer = np.minimum if spec.reduce == "min" else np.maximum
+
+    def combine(vertex_id: Any, slots: dict) -> Any:
+        if source is not None and vertex_id == source:
+            return source_value
+        count = len(slots)
+        if count < VECTOR_MIN_SLOTS:
+            return scalar(vertex_id, slots)
+        try:
+            offers = np.fromiter(slots.values(), dtype=dtype, count=count)
+        except (TypeError, ValueError):
+            return scalar(vertex_id, slots)
+        # .item() unboxes to the exact Python scalar (float64 round-trips
+        # bit for bit) — numpy scalars must never reach vertex state,
+        # their repr poisons the canonical digest.
+        best = reducer.reduce(offers).item()
+        if include_self:
+            best = min(best, vertex_id) if spec.reduce == "min" \
+                else max(best, vertex_id)
+        if cap is not None and best >= cap:
+            return empty
+        return best
+
+    return combine
+
+
+class BulkRunner:
+    """Whole-graph synchronous sweeps over a columnar store.
+
+    Operates on dense int vertex ids and flat edge arrays (``src``,
+    ``dst``, optional ``weights``).  Each ``*_sweep`` generator yields
+    ``(iteration, changed_ids, values)`` steps; :meth:`apply` commits a
+    step to the store as one column slab.  Splitting compute from apply
+    keeps this module clock-free and lets the bench time (and A/B) the
+    state-apply in isolation — the acceptance metric of the scale
+    bench.
+    """
+
+    def __init__(self, store: Any, loop: str = "main") -> None:
+        self.store = store
+        self.loop = loop
+
+    def apply(self, iteration: int, changed_ids: np.ndarray,
+              values: np.ndarray) -> int:
+        """Commit one sweep's changed vertices as a column slab.  Works
+        against any store layout (object layouts fall back to
+        element-wise puts inside ``put_columns``)."""
+        return self.store.put_columns(self.loop, changed_ids, iteration,
+                                      values)
+
+    def final_values(self) -> dict[int, Any]:
+        """Read back the newest committed value per vertex (columnar
+        stores answer via the vectorized snapshot)."""
+        if getattr(self.store, "columnar", False):
+            keys, values = self.store.snapshot_columns(self.loop)
+            return dict(zip(keys.tolist(), values.tolist()))
+        return self.store.snapshot(self.loop)
+
+    # ------------------------------------------------------------ sweeps
+    def pagerank_sweep(self, n_vertices: int, src: np.ndarray,
+                       dst: np.ndarray, damping: float = 0.85,
+                       sweeps: int = 10
+                       ) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Power iteration: one ``bincount`` scatter-add per sweep.
+        Every vertex's rank moves every sweep, so each step yields the
+        full column."""
+        out_degree = np.bincount(src, minlength=n_vertices
+                                 ).astype(np.float64)
+        ranks = np.full(n_vertices, 1.0 / n_vertices)
+        all_ids = np.arange(n_vertices, dtype=np.int64)
+        dangling_mask = out_degree == 0.0
+        safe_degree = np.where(dangling_mask, 1.0, out_degree)
+        for iteration in range(sweeps):
+            contribution = ranks / safe_degree
+            inflow = np.bincount(dst, weights=contribution[src],
+                                 minlength=n_vertices)
+            dangling = float(ranks[dangling_mask].sum())
+            ranks = ((1.0 - damping) / n_vertices
+                     + damping * (inflow + dangling / n_vertices))
+            yield iteration, all_ids, ranks
+
+    def sssp_sweep(self, n_vertices: int, src: np.ndarray,
+                   dst: np.ndarray, weights: np.ndarray, root: int,
+                   max_sweeps: int | None = None
+                   ) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Bellman-Ford rounds: one ``np.minimum.at`` relaxation over
+        every edge per sweep; yields only the vertices whose distance
+        improved.  Stops at the fixed point."""
+        distance = np.full(n_vertices, np.inf)
+        distance[root] = 0.0
+        yield 0, np.array([root], dtype=np.int64), distance[[root]]
+        iteration = 0
+        while max_sweeps is None or iteration < max_sweeps:
+            iteration += 1
+            relaxed = distance.copy()
+            np.minimum.at(relaxed, dst, distance[src] + weights)
+            changed = relaxed < distance
+            if not changed.any():
+                return
+            distance = relaxed
+            yield (iteration, np.nonzero(changed)[0].astype(np.int64),
+                   distance[changed])
+
+    def components_sweep(self, n_vertices: int, src: np.ndarray,
+                         dst: np.ndarray, max_sweeps: int | None = None
+                         ) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Min-label propagation over an undirected view of the edges
+        (labels flow both ways, as the DSL's ``min_label`` program does
+        on an undirected router)."""
+        labels = np.arange(n_vertices, dtype=np.int64)
+        yield 0, labels.copy(), labels.copy()
+        iteration = 0
+        while max_sweeps is None or iteration < max_sweeps:
+            iteration += 1
+            proposed = labels.copy()
+            np.minimum.at(proposed, dst, labels[src])
+            np.minimum.at(proposed, src, labels[dst])
+            changed = proposed < labels
+            if not changed.any():
+                return
+            labels = proposed
+            yield (iteration, np.nonzero(changed)[0].astype(np.int64),
+                   labels[changed])

@@ -47,6 +47,17 @@ class TornadoConfig:
     #: either way; message counts and virtual timings are not.
     delta_path: bool = True
 
+    #: Columnar vertex-state engine: the versioned store keeps per-loop
+    #: numpy column slabs ((slot << 32) | iteration composites + object
+    #: value columns, pending slab log, batched rebases) instead of
+    #: per-key Python chains, and combiner-friendly programs that
+    #: declare an algebra vector spec gather through numpy kernels.
+    #: ``False`` (the default) runs the object-layout store byte for
+    #: byte — same seed, byte-identical flight-recorder digests either
+    #: way (the scalar path is the oracle, same precedent as
+    #: ``fast_path``/``delta_path``).
+    columnar: bool = False
+
     # ------------------------------------------------------ iteration model
     #: Delay bound B (paper §4.4).  1 = synchronous; large = asynchronous.
     delay_bound: int = 65536
@@ -69,6 +80,13 @@ class TornadoConfig:
     storage_backend: str = "disk"
     disk_seek_cost: float = 1.5e-3
     disk_record_cost: float = 2e-6
+    #: Pending-log length that triggers a store rebase on write (delta
+    #: and columnar layouts; the columnar layout additionally grows the
+    #: threshold geometrically with the base slab).
+    store_rebase_interval: int = 16
+    #: Distinct ``(loop, bound)`` snapshot views kept by the store's LRU
+    #: snapshot cache (delta and columnar layouts).
+    store_snapshot_cache_size: int = 32
 
     # ------------------------------------------------------------- control
     #: How often processors report progress to the master.
@@ -138,6 +156,10 @@ class TornadoConfig:
             raise ValueError("delay_bound must be >= 1")
         if self.storage_backend not in ("disk", "memory"):
             raise ValueError(f"unknown backend: {self.storage_backend!r}")
+        if self.store_rebase_interval < 1:
+            raise ValueError("store_rebase_interval must be >= 1")
+        if self.store_snapshot_cache_size < 1:
+            raise ValueError("store_snapshot_cache_size must be >= 1")
         if self.merge_policy not in ("if_quiescent", "always", "never"):
             raise ValueError(f"unknown merge policy: {self.merge_policy!r}")
         if self.main_loop_mode not in ("approximate", "batch"):

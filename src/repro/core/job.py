@@ -79,7 +79,11 @@ class TornadoJob:
             jitter=self.config.net_jitter,
             capacity=self.config.net_capacity,
         )
-        self.store = VersionedStore(delta_path=self.config.delta_path)
+        self.store = VersionedStore(
+            delta_path=self.config.delta_path,
+            columnar=self.config.columnar,
+            rebase_interval=self.config.store_rebase_interval,
+            snapshot_cache_size=self.config.store_snapshot_cache_size)
         self.manifest = CheckpointManifest()
         self.durable = MasterDurableState()
         self.failures = FailureInjector(self.sim, network=self.network)

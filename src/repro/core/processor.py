@@ -189,6 +189,18 @@ class Processor(Actor):
         self._m_scatter_stale = metrics.counter("core.scatter_stale_skipped")
         self._m_envelopes_saved = metrics.counter(
             "core.scatter_envelopes_saved")
+        # --------------------------------------------------- columnar path
+        # With ``columnar`` on, programs that declare a vector spec swap
+        # their slot reduction for the exact numpy kernel.  Protocol
+        # event order, changed flags and traces are untouched (they are
+        # digest-visible); only the arithmetic inside gather vectorizes.
+        self._vector_kernel = False
+        if config.columnar:
+            enable = getattr(app.program, "enable_columnar_kernels", None)
+            if enable is not None:
+                self._vector_kernel = bool(enable())
+        self._m_vector_gathers = metrics.counter("core.vector_gathers")
+        self._m_vector_windows = metrics.counter("core.vector_windows")
         self._g_store_cache_hits = metrics.gauge("storage.cache_hits")
         self._g_store_cache_misses = metrics.gauge("storage.cache_misses")
         self._g_store_rebases = metrics.gauge("storage.rebases")
@@ -523,6 +535,8 @@ class Processor(Actor):
         loop.gathered_total += 1
         self.total_updates_gathered += 1
         self._m_updates.inc()
+        if self._vector_kernel:
+            self._m_vector_gathers.inc()
         if self._trace.enabled:
             self._trace.record(self.sim.now, "protocol", "update",
                                actor=self.name, loop=loop.name,
@@ -627,7 +641,12 @@ class Processor(Actor):
         """Unpack a batched envelope: each ride-along message goes
         through the exact single-message path (forwarding, migration
         buffering, delay bound, orphaning all behave per message), in
-        its original send order."""
+        its original send order.  With the columnar kernels active the
+        window's gathers run the vectorized slot reduction — the unpack
+        loop is the receiver-side seam the vector path rides through,
+        counted per window for the A/B gauges."""
+        if self._vector_kernel:
+            self._m_vector_windows.inc()
         cost = 0.0
         for payload in msg.payloads:
             cost += self._dispatch(payload)

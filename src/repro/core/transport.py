@@ -12,9 +12,10 @@ model and the idempotence of ``gather``.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-import numpy as np
+if TYPE_CHECKING:  # annotation-only; the runtime never touches numpy
+    import numpy as np
 
 from repro.core.messages import Envelope, TransportAck, Unreliable
 from repro.simulator import Network, Simulator

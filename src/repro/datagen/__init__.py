@@ -1,7 +1,8 @@
 """Seeded synthetic dataset generators (the paper's Table 1, scaled)."""
 
 from repro.datagen.graphs import (connected_core, degree_histogram,
-                                  livejournal_like, rmat_edges)
+                                  livejournal_like, rmat_edges,
+                                  rmat_edges_fast)
 from repro.datagen.instances import higgs_like, pubmed_like
 from repro.datagen.points import gaussian_mixture
 
@@ -13,4 +14,5 @@ __all__ = [
     "livejournal_like",
     "pubmed_like",
     "rmat_edges",
+    "rmat_edges_fast",
 ]

@@ -82,7 +82,11 @@ class LiveJob(TornadoJob):
         #: Simulator alias so inherited helpers (``trace``, ``metrics``)
         #: resolve against the live kernel.
         self.sim = self.kernel
-        self.store = VersionedStore(delta_path=self.config.delta_path)
+        self.store = VersionedStore(
+            delta_path=self.config.delta_path,
+            columnar=self.config.columnar,
+            rebase_interval=self.config.store_rebase_interval,
+            snapshot_cache_size=self.config.store_snapshot_cache_size)
         self.manifest = CheckpointManifest()
         self.durable = MasterDurableState()
         self._worker_names = [f"proc-{i}"
@@ -162,6 +166,8 @@ class LiveJob(TornadoJob):
         elif isinstance(item, StoreWrite):
             for loop, key, iteration, value in item.entries:
                 self.store.put(loop, key, iteration, value)
+            for loop, keys, iterations, values in item.slabs:
+                self.store.put_columns(loop, keys, iterations, values)
             for loop, iteration in item.frontiers:
                 self.manifest.record_flush(loop, item.processor, iteration)
         elif isinstance(item, FetchStore):

@@ -50,6 +50,10 @@ class StoreWrite:
     entries: tuple
     #: ``(loop, iteration)`` durable frontiers as of this flush.
     frontiers: tuple
+    #: Column slabs ``(loop, keys, iterations, values)`` — the columnar
+    #: layout's journal format (mutually exclusive with ``entries``; the
+    #: master replays each slab through vectorized ``put_columns``).
+    slabs: tuple = ()
 
 
 @dataclass(frozen=True, slots=True)

@@ -100,7 +100,11 @@ def worker_main(spec: WorkerSpec, inbound: Any, outbound: Any) -> None:
         kernel = LiveKernel(seed=config.seed, recorder=recorder)
         net = WorkerNet(kernel, spec.name, outbound)
         partition = PartitionScheme(list(spec.worker_names))
-        store = WorkerStore(delta_path=config.delta_path)
+        store = WorkerStore(
+            delta_path=config.delta_path,
+            columnar=config.columnar,
+            rebase_interval=config.store_rebase_interval,
+            snapshot_cache_size=config.store_snapshot_cache_size)
         backend = LiveBackend(store, net, spec.name)
         processor = Processor(kernel, spec.name, config, spec.app,
                               partition, store, backend, net, MASTER_NAME,

@@ -6,8 +6,8 @@ chain of ``(iteration, value)`` versions.  Branch loops snapshot the main
 loop by reading, for each vertex, the most recent version whose iteration is
 not greater than the fork iteration (paper §5.2).
 
-Two layouts, A/B-gated by ``delta_path`` (mirroring the kernel
-``fast_path`` precedent):
+Three layouts, A/B-gated by ``delta_path`` / ``columnar`` (mirroring
+the kernel ``fast_path`` precedent):
 
 * **Legacy** (``delta_path=False``): one flat ``(loop, key) -> chain``
   dict.  ``keys()`` / ``snapshot()`` / ``drop_loop()`` /
@@ -17,10 +17,23 @@ Two layouts, A/B-gated by ``delta_path`` (mirroring the kernel
   (loop-scoped walks touch only that loop's chains), chains that absorb
   writes into a pending delta log consolidated by periodic *rebases*
   (arrangement-style: the sorted base arrays are rebuilt only every
-  :data:`REBASE_INTERVAL` writes or before a read), and an LRU snapshot
+  ``rebase_interval`` writes or before a read), and an LRU snapshot
   cache keyed ``(loop, bound)``, invalidated by per-loop generation
   counters — repeated branch-fork reads of an unchanged loop stop
   re-walking full chains.
+* **Columnar** (``columnar=True``): per-loop numpy column slabs — one
+  sorted ``(slot << 32) | iteration`` int64 column + a parallel object
+  value column per loop, a slab-level pending log folded in by batched
+  rebases, and vectorized ``get_many`` / ``snapshot`` /
+  ``truncate_before`` (see :mod:`repro.storage.columnar`).  Results and
+  dict orderings are identical to the delta layout — same-seed runs
+  produce byte-identical flight-recorder digests either way; only the
+  housekeeping gauges (``rebases``) count different internal events.
+  The columnar backend is imported lazily so the object layouts stay
+  importable without numpy.
+
+The snapshot LRU cache and per-loop generation counters are shared by
+the delta and columnar layouts.
 
 Cost-model accounting is split: :attr:`reads` counts *protocol* reads
 (vertex seeding, fork snapshots, query results); runtime housekeeping
@@ -39,9 +52,13 @@ from typing import Any, Iterable
 
 from repro.errors import StorageError
 
-#: Pending-log length that triggers a rebase on write (delta path).
+#: Default pending-log length that triggers a rebase on write (delta
+#: and columnar paths); per-store override via ``rebase_interval`` /
+#: :attr:`TornadoConfig.store_rebase_interval`.
 REBASE_INTERVAL = 16
-#: Distinct ``(loop, bound)`` snapshot views kept by the LRU cache.
+#: Default number of distinct ``(loop, bound)`` snapshot views kept by
+#: the LRU cache; override via ``snapshot_cache_size`` /
+#: :attr:`TornadoConfig.store_snapshot_cache_size`.
 SNAPSHOT_CACHE_SIZE = 32
 
 
@@ -128,8 +145,22 @@ class VersionedStore:
     immutability of committed values.
     """
 
-    def __init__(self, delta_path: bool = True) -> None:
+    def __init__(self, delta_path: bool = True, columnar: bool = False,
+                 rebase_interval: int | None = None,
+                 snapshot_cache_size: int | None = None) -> None:
         self.delta_path = delta_path
+        self.columnar = columnar
+        self.rebase_interval = (REBASE_INTERVAL if rebase_interval is None
+                                else rebase_interval)
+        self.snapshot_cache_size = (SNAPSHOT_CACHE_SIZE
+                                    if snapshot_cache_size is None
+                                    else snapshot_cache_size)
+        if self.rebase_interval < 1:
+            raise StorageError(
+                f"rebase_interval must be >= 1: {self.rebase_interval}")
+        if self.snapshot_cache_size < 1:
+            raise StorageError(f"snapshot_cache_size must be >= 1: "
+                               f"{self.snapshot_cache_size}")
         self.puts = 0
         #: Protocol reads — what the cost model bills (see module doc).
         self.reads = 0
@@ -140,6 +171,7 @@ class VersionedStore:
         self.cache_misses = 0
         # Delta layout: loop -> key -> chain, plus the snapshot cache
         # ((loop, bound) -> (generation, view)) and per-loop generations.
+        # Cache and generations are shared with the columnar layout.
         self._loops: dict[str, dict[Any, _Chain]] = {}
         self._snap_cache: OrderedDict[tuple[str, int | None],
                                       tuple[int, dict[Any, Any]]] \
@@ -147,6 +179,18 @@ class VersionedStore:
         self._generation: dict[str, int] = {}
         # Legacy layout: one flat dict over every loop.
         self._chains: dict[tuple[str, Any], _Chain] = {}
+        # Columnar layout: numpy slab backend, imported lazily so the
+        # object layouts stay importable without numpy installed.
+        if columnar:
+            from repro.storage.columnar import ColumnarStore
+            self._col = ColumnarStore(self, self.rebase_interval)
+        else:
+            self._col = None
+
+    @property
+    def _indexed(self) -> bool:
+        """Layouts with a per-loop index + snapshot cache."""
+        return self.columnar or self.delta_path
 
     # ----------------------------------------------------------- internals
     def _find(self, loop: str, key: Any) -> _Chain | None:
@@ -177,6 +221,8 @@ class VersionedStore:
 
     def _latest(self, loop: str, key: Any,
                 max_iteration: int | None) -> tuple[int, Any] | None:
+        if self.columnar:
+            return self._col.latest(loop, key, max_iteration)
         chain = self._find(loop, key)
         if chain is None:
             return None
@@ -189,10 +235,14 @@ class VersionedStore:
         if iteration < 0:
             raise StorageError(f"negative iteration: {iteration}")
         self.puts += 1
+        if self.columnar:
+            self._col.put(loop, key, iteration, value)
+            self._bump(loop)
+            return
         chain = self._obtain(loop, key)
         if self.delta_path:
             chain.pending.append((iteration, value))
-            if len(chain.pending) >= REBASE_INTERVAL:
+            if len(chain.pending) >= self.rebase_interval:
                 self._settle(chain)
             self._bump(loop)
         else:
@@ -202,23 +252,57 @@ class VersionedStore:
                  items: Iterable[tuple[Any, int, Any]]) -> int:
         """Batched write: ``(key, iteration, value)`` triples.  Returns
         the number written.  One generation bump covers the whole batch
-        on the delta path (one snapshot-cache invalidation, not N)."""
+        on the indexed paths (one snapshot-cache invalidation, not N)."""
         count = 0
-        for key, iteration, value in items:
-            if iteration < 0:
-                raise StorageError(f"negative iteration: {iteration}")
-            chain = self._obtain(loop, key)
-            if self.delta_path:
-                chain.pending.append((iteration, value))
-                if len(chain.pending) >= REBASE_INTERVAL:
-                    self._settle(chain)
-            else:
-                chain.put(iteration, value)
-            count += 1
+        if self.columnar:
+            for key, iteration, value in items:
+                if iteration < 0:
+                    raise StorageError(f"negative iteration: {iteration}")
+                self._col.put(loop, key, iteration, value)
+                count += 1
+        else:
+            for key, iteration, value in items:
+                if iteration < 0:
+                    raise StorageError(f"negative iteration: {iteration}")
+                chain = self._obtain(loop, key)
+                if self.delta_path:
+                    chain.pending.append((iteration, value))
+                    if len(chain.pending) >= self.rebase_interval:
+                        self._settle(chain)
+                else:
+                    chain.put(iteration, value)
+                count += 1
         self.puts += count
-        if count and self.delta_path:
+        if count and self._indexed:
             self._bump(loop)
         return count
+
+    def put_columns(self, loop: str, keys: Any, iterations: Any,
+                    values: Any) -> int:
+        """Column-slab write: parallel key/iteration/value arrays (the
+        iteration may be a scalar covering the whole slab).  On the
+        columnar layout this appends one numpy block to the loop's
+        pending log; the object layouts fall back to element-wise puts,
+        so callers (bulk engine, live journal) need not branch."""
+        if self.columnar:
+            count = self._col.put_columns(loop, keys, iterations, values)
+            self.puts += count
+            if count:
+                self._bump(loop)
+            return count
+        # Unbox ndarray columns to plain Python lists first: iterating a
+        # numpy array yields numpy scalars, which must never reach the
+        # object chains (their reprs poison canonical digests).
+        keys = keys.tolist() if hasattr(keys, "tolist") else keys
+        iterations = (iterations.tolist()
+                      if hasattr(iterations, "tolist") else iterations)
+        values = values.tolist() if hasattr(values, "tolist") else values
+        if isinstance(iterations, int):
+            triples = ((key, iterations, value)
+                       for key, value in zip(keys, values, strict=True))
+        else:
+            triples = zip(keys, iterations, values, strict=True)
+        return self.put_many(loop, triples)
 
     def put_if_newer(self, loop: str, key: Any, iteration: int,
                      value: Any) -> bool:
@@ -228,11 +312,13 @@ class VersionedStore:
         roll a newer committed version back).  Returns whether it wrote."""
         if iteration < 0:
             raise StorageError(f"negative iteration: {iteration}")
-        chain = self._find(loop, key)
-        if chain is not None:
-            newest = chain.max_iteration()
-            if newest is not None and newest >= iteration:
-                return False
+        if self.columnar:
+            newest = self._col.max_iteration(loop, key)
+        else:
+            chain = self._find(loop, key)
+            newest = None if chain is None else chain.max_iteration()
+        if newest is not None and newest >= iteration:
+            return False
         self.put(loop, key, iteration, value)
         return True
 
@@ -267,13 +353,16 @@ class VersionedStore:
         """Batched point reads: key -> (iteration, value) for every key
         with a version ≤ the bound.  ``internal`` routes the charge to
         :attr:`internal_reads` (housekeeping walks)."""
-        found: dict[Any, tuple[int, Any]] = {}
-        walked = 0
-        for key in keys:
-            walked += 1
-            version = self._latest(loop, key, max_iteration)
-            if version is not None:
-                found[key] = version
+        if self.columnar:
+            walked, found = self._col.latest_many(loop, keys, max_iteration)
+        else:
+            found = {}
+            walked = 0
+            for key in keys:
+                walked += 1
+                version = self._latest(loop, key, max_iteration)
+                if version is not None:
+                    found[key] = version
         if internal:
             self.internal_reads += walked
         else:
@@ -283,6 +372,8 @@ class VersionedStore:
     def keys(self, loop: str) -> list[Any]:
         """Keys of a loop, as a snapshot list (callers may mutate the store
         while walking it)."""
+        if self.columnar:
+            return self._col.keys(loop)
         if self.delta_path:
             return list(self._loops.get(loop, ()))
         return [key for chain_loop, key in self._chains
@@ -295,9 +386,11 @@ class VersionedStore:
         delta path, repeated reads of an unchanged loop are served from
         the LRU cache.  ``internal`` walks (e.g. in-memory result
         merging) are billed to :attr:`internal_reads`."""
-        if self.delta_path:
-            chains = self._loops.get(loop, {})
-            walked = len(chains)
+        if self._indexed:
+            if self.columnar:
+                walked = self._col.key_count(loop)
+            else:
+                walked = len(self._loops.get(loop, {}))
             cache_key = (loop, max_iteration)
             generation = self._generation.get(loop, 0)
             entry = self._snap_cache.get(cache_key)
@@ -307,15 +400,18 @@ class VersionedStore:
                 view = dict(entry[1])
             else:
                 self.cache_misses += 1
-                view = {}
-                for key, chain in chains.items():
-                    self._settle(chain)
-                    found = chain.latest(max_iteration)
-                    if found is not None:
-                        view[key] = found[1]
+                if self.columnar:
+                    view = self._col.snapshot_view(loop, max_iteration)
+                else:
+                    view = {}
+                    for key, chain in self._loops.get(loop, {}).items():
+                        self._settle(chain)
+                        found = chain.latest(max_iteration)
+                        if found is not None:
+                            view[key] = found[1]
                 self._snap_cache[cache_key] = (generation, dict(view))
                 self._snap_cache.move_to_end(cache_key)
-                while len(self._snap_cache) > SNAPSHOT_CACHE_SIZE:
+                while len(self._snap_cache) > self.snapshot_cache_size:
                     self._snap_cache.popitem(last=False)
         else:
             view = {}
@@ -331,15 +427,33 @@ class VersionedStore:
             self.reads += walked
         return view
 
+    def snapshot_columns(self, loop: str, max_iteration: int | None = None,
+                         internal: bool = False):
+        """Array-native snapshot (columnar layout only): parallel
+        ``(keys, values)`` numpy columns in key-creation order, without
+        building a Python dict.  The bulk engine's read path."""
+        if not self.columnar:
+            raise StorageError("snapshot_columns requires columnar=True")
+        walked = self._col.key_count(loop)
+        if internal:
+            self.internal_reads += walked
+        else:
+            self.reads += walked
+        return self._col.snapshot_columns(loop, max_iteration)
+
     # ------------------------------------------------------------ lifecycle
     def drop_loop(self, loop: str) -> int:
         """Delete every version of a loop (branch-loop teardown)."""
-        if self.delta_path:
-            chains = self._loops.pop(loop, None)
+        if self._indexed:
+            if self.columnar:
+                count = self._col.drop_loop(loop)
+            else:
+                chains = self._loops.pop(loop, None)
+                count = len(chains) if chains is not None else 0
             self._generation.pop(loop, None)
             for cache_key in [k for k in self._snap_cache if k[0] == loop]:
                 del self._snap_cache[cache_key]
-            return len(chains) if chains is not None else 0
+            return count
         doomed = [pair for pair in self._chains if pair[0] == loop]
         for pair in doomed:
             del self._chains[pair]
@@ -348,6 +462,11 @@ class VersionedStore:
     def truncate_before(self, loop: str, iteration: int) -> int:
         """Garbage-collect versions no snapshot at ≥ ``iteration`` can see."""
         dropped = 0
+        if self.columnar:
+            dropped = self._col.truncate_before(loop, iteration)
+            if dropped:
+                self._bump(loop)
+            return dropped
         if self.delta_path:
             for chain in self._loops.get(loop, {}).values():
                 self._settle(chain)
@@ -365,6 +484,10 @@ class VersionedStore:
         the hydration feed for live-backend worker recovery (the worker's
         local store died with its process; the master's authoritative
         copy re-seeds it).  A housekeeping walk: counts as internal."""
+        if self.columnar:
+            out = self._col.export_versions()
+            self.internal_reads += len(out)
+            return out
         out: list[tuple[str, Any, int, Any]] = []
         if self.delta_path:
             groups: Iterable[tuple[str, dict[Any, _Chain]]] \
@@ -384,6 +507,8 @@ class VersionedStore:
         return out
 
     def version_count(self, loop: str | None = None) -> int:
+        if self.columnar:
+            return self._col.version_count(loop)
         if self.delta_path:
             if loop is None:
                 loops = list(self._loops.values())

@@ -76,4 +76,5 @@ class TestQuickExperiments:
         assert "skew" in experiments
         assert "delta" in experiments
         assert "live" in experiments
-        assert len(experiments) == 22
+        assert "scale" in experiments
+        assert len(experiments) == 23

@@ -28,21 +28,31 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 DETERMINISTIC_PACKAGES = ("core", "simulator", "storm", "storage",
                           "streams", "algorithms", "chaos", "datagen")
 
-#: (pattern, why it is banned, packages it is banned in — None = all).
+#: (pattern, why it is banned, packages it is banned in — None = all,
+#: file names exempt from the rule).
 RULES = [
     (re.compile(r"\btime\.time\("),
      "wall-clock epoch read; use the virtual clock (or perf_counter in "
-     "host-side harness code)", None),
+     "host-side harness code)", None, ()),
     (re.compile(r"\btime\.monotonic\(|\btime\.perf_counter\("),
      "wall-clock read inside the deterministic runtime",
-     DETERMINISTIC_PACKAGES),
+     DETERMINISTIC_PACKAGES, ()),
     (re.compile(r"^\s*(import random\b|from random\b)", re.MULTILINE),
      "global random module; use RandomStreams / np.random.default_rng("
-     "seed)", None),
+     "seed)", None, ()),
     (re.compile(r"np\.random\.seed\(|numpy\.random\.seed\("),
-     "global numpy RNG state", None),
+     "global numpy RNG state", None, ()),
     (re.compile(r"default_rng\(\s*\)"),
-     "unseeded Generator; pass an explicit seed", None),
+     "unseeded Generator; pass an explicit seed", None, ()),
+    # The columnar dependency boundary: the scalar runtime and the wire
+    # format must stay importable (and unpicklable) without numpy; only
+    # the columnar modules may bind it at import time.  Function-level
+    # (indented, lazy) imports behind the TornadoConfig.columnar gate
+    # are the sanctioned escape hatch.
+    (re.compile(r"^(import numpy\b|from numpy\b)", re.MULTILINE),
+     "module-top-level numpy import inside the scalar runtime; import "
+     "lazily behind the columnar gate instead",
+     ("core", "storage", "live"), ("columnar.py",)),
 ]
 
 
@@ -55,8 +65,10 @@ def violations():
     for path in sorted(SRC.rglob("*.py")):
         package = _package_of(path)
         text = path.read_text()
-        for pattern, why, packages in RULES:
+        for pattern, why, packages, exempt in RULES:
             if packages is not None and package not in packages:
+                continue
+            if path.name in exempt:
                 continue
             for match in pattern.finditer(text):
                 line = text.count("\n", 0, match.start()) + 1
@@ -81,6 +93,10 @@ class TestNondeterminismLint:
                                       "import RandomStreams\n")
         assert RULES[4][0].search("rng = np.random.default_rng()")
         assert not RULES[4][0].search("rng = np.random.default_rng(7)")
+        assert RULES[5][0].search("import numpy as np\n")
+        assert RULES[5][0].search("from numpy import float64\n")
+        # Lazy (function-level) imports are the sanctioned escape hatch.
+        assert not RULES[5][0].search("    import numpy as np\n")
 
 
 DIGEST_SCRIPT = """

@@ -11,11 +11,30 @@ from repro.storage import (CheckpointManifest, DiskBackend, InMemoryBackend,
 from repro.storage.versioned import REBASE_INTERVAL
 
 
-@pytest.fixture(params=[False, True], ids=["legacy", "delta"])
+LAYOUTS = {
+    "legacy": dict(delta_path=False),
+    "delta": dict(delta_path=True),
+    "columnar": dict(columnar=True),
+}
+
+
+def make_store(layout: str, **overrides) -> VersionedStore:
+    return VersionedStore(**{**LAYOUTS[layout], **overrides})
+
+
+@pytest.fixture(params=list(LAYOUTS), ids=list(LAYOUTS))
 def store(request):
-    """Every store contract test runs against both layouts: the flat
-    legacy dict and the delta path's indexed/rebase/cached one."""
-    return VersionedStore(delta_path=request.param)
+    """Every store contract test runs against all three layouts: the
+    flat legacy dict, the delta path's indexed/rebase/cached one, and
+    the numpy-slab columnar engine."""
+    return make_store(request.param)
+
+
+@pytest.fixture(params=["delta", "columnar"])
+def indexed_store(request):
+    """The two indexed layouts (per-loop index + snapshot cache +
+    batched I/O accounting) share these behaviors."""
+    return make_store(request.param)
 
 
 class TestVersionedStore:
@@ -84,9 +103,9 @@ class TestVersionedStore:
                     min_size=1, max_size=40))
     def test_property_latest_below_bound(self, puts):
         """get(max_iteration=b) always returns the value with the largest
-        iteration ≤ b, regardless of put order — in both layouts."""
-        for delta in (False, True):
-            store = VersionedStore(delta_path=delta)
+        iteration ≤ b, regardless of put order — in every layout."""
+        for layout in LAYOUTS:
+            store = make_store(layout)
             reference = {}
             for iteration, value in puts:
                 store.put("main", "k", iteration, value)
@@ -101,12 +120,13 @@ class TestVersionedStore:
                     assert found is None
 
 
-class TestDeltaStore:
-    """Delta-path-only behavior: batched I/O accounting, the pending-log
-    rebase, and the generation-checked snapshot cache."""
+class TestIndexedStore:
+    """Behavior shared by the indexed layouts (delta + columnar):
+    batched I/O accounting and the generation-checked snapshot cache."""
 
-    def test_put_many_get_many_roundtrip_and_accounting(self):
-        store = VersionedStore(delta_path=True)
+    def test_put_many_get_many_roundtrip_and_accounting(
+            self, indexed_store):
+        store = indexed_store
         written = store.put_many("main", [("a", 1, 10), ("b", 2, 20),
                                           ("a", 4, 40)])
         assert written == 3
@@ -119,14 +139,26 @@ class TestDeltaStore:
         assert store.reads == 3
         assert store.internal_reads == 1
 
-    def test_peek_bills_internal_reads(self):
-        store = VersionedStore(delta_path=True)
+    def test_peek_bills_internal_reads(self, indexed_store):
+        store = indexed_store
         store.put("main", "k", 1, "v")
         assert store.peek_version("main", "k") == (1, "v")
         assert (store.reads, store.internal_reads) == (0, 1)
 
-    def test_snapshot_cache_hits_until_a_put_invalidates(self):
-        store = VersionedStore(delta_path=True)
+    def test_snapshot_reads_split_protocol_vs_internal(self,
+                                                      indexed_store):
+        store = indexed_store
+        store.put("main", "a", 1, 10)
+        store.put("main", "b", 2, 20)
+        store.snapshot("main")
+        assert (store.reads, store.internal_reads) == (2, 0)
+        store.put("main", "c", 3, 30)
+        store.snapshot("main", internal=True)
+        assert (store.reads, store.internal_reads) == (2, 3)
+
+    def test_snapshot_cache_hits_until_a_put_invalidates(
+            self, indexed_store):
+        store = indexed_store
         store.put("main", "a", 1, 10)
         first = store.snapshot("main", max_iteration=5)
         second = store.snapshot("main", max_iteration=5)
@@ -138,13 +170,53 @@ class TestDeltaStore:
         assert store.snapshot("main", max_iteration=5) == {"a": 10}
         assert store.cache_misses == 2
 
-    def test_put_many_bumps_generation_once(self):
-        store = VersionedStore(delta_path=True)
+    def test_put_many_bumps_generation_once(self, indexed_store):
+        store = indexed_store
         store.put_many("main", [("a", 1, 10)])
         store.snapshot("main")
         store.put_many("main", [("b", 2, 20), ("c", 3, 30)])
         assert store.snapshot("main") == {"a": 10, "b": 20, "c": 30}
         assert store.cache_misses == 2
+
+    def test_put_if_newer_sees_pending_writes(self, indexed_store):
+        store = indexed_store
+        store.put("main", "k", 5, "newer")     # still in the pending log
+        assert not store.put_if_newer("main", "k", 4, "stale")
+        assert store.put_if_newer("main", "k", 6, "newest")
+        assert store.get("main", "k") == "newest"
+
+    def test_drop_loop_clears_index_and_cache(self, indexed_store):
+        store = indexed_store
+        store.put("branch-1", "k", 1, "v")
+        store.put("main", "k", 1, "kept")
+        store.snapshot("branch-1")
+        assert store.drop_loop("branch-1") == 1
+        assert store.keys("branch-1") == []
+        assert store.snapshot("branch-1") == {}
+        assert store.get("main", "k") == "kept"
+
+    def test_truncate_invalidates_the_snapshot_cache(self, indexed_store):
+        store = indexed_store
+        for iteration in (1, 3, 5):
+            store.put("main", "k", iteration, iteration * 10)
+        assert store.snapshot("main", max_iteration=2) == {"k": 10}
+        assert store.truncate_before("main", 5) == 2
+        # The GC invalidated the cached view: versions 10 and 30 are gone.
+        assert store.snapshot("main", max_iteration=2) == {}
+        assert store.snapshot("main") == {"k": 50}
+
+    def test_version_count_per_loop_and_total(self, indexed_store):
+        store = indexed_store
+        store.put("main", "a", 1, 10)
+        store.put("main", "a", 2, 20)
+        store.put("branch-1", "b", 1, 30)
+        assert store.version_count("main") == 2
+        assert store.version_count("branch-1") == 1
+        assert store.version_count() == 3
+
+
+class TestDeltaStore:
+    """Delta-path-only behavior: the per-chain pending-log rebase."""
 
     def test_pending_log_rebases_on_interval_and_reads(self):
         store = VersionedStore(delta_path=True)
@@ -156,58 +228,167 @@ class TestDeltaStore:
         assert store.rebases == 2         # read-triggered consolidation
         assert store.get("main", "k") == REBASE_INTERVAL - 1
 
-    def test_put_if_newer_sees_pending_writes(self):
-        store = VersionedStore(delta_path=True)
-        store.put("main", "k", 5, "newer")     # still in the pending log
-        assert not store.put_if_newer("main", "k", 4, "stale")
-        assert store.put_if_newer("main", "k", 6, "newest")
-        assert store.get("main", "k") == "newest"
+    def test_custom_rebase_interval_changes_cadence(self):
+        """The TornadoConfig-promoted knob really controls rebase
+        cadence: interval 4 folds 16 ascending writes four times where
+        the default interval folds once."""
+        eager = VersionedStore(delta_path=True, rebase_interval=4)
+        for iteration in range(16):
+            eager.put("main", "k", iteration, iteration)
+        assert eager.rebases == 4
+        default = VersionedStore(delta_path=True)
+        for iteration in range(16):
+            default.put("main", "k", iteration, iteration)
+        assert default.rebases == 1
+        lazy = VersionedStore(delta_path=True, rebase_interval=100)
+        for iteration in range(16):
+            lazy.put("main", "k", iteration, iteration)
+        assert lazy.rebases == 0          # nothing folded until a read
+        assert lazy.get("main", "k") == 15
+        assert lazy.rebases == 1
 
-    def test_drop_loop_clears_index_and_cache(self):
-        store = VersionedStore(delta_path=True)
-        store.put("branch-1", "k", 1, "v")
-        store.put("main", "k", 1, "kept")
-        store.snapshot("branch-1")
-        assert store.drop_loop("branch-1") == 1
-        assert store.keys("branch-1") == []
-        assert store.snapshot("branch-1") == {}
-        assert store.get("main", "k") == "kept"
+    def test_custom_snapshot_cache_size_evicts_lru(self):
+        store = VersionedStore(delta_path=True, snapshot_cache_size=2)
+        store.put("main", "k", 1, 10)
+        for bound in (1, 2, 3):          # three views, cache holds two
+            store.snapshot("main", max_iteration=bound)
+        store.snapshot("main", max_iteration=1)   # evicted -> miss again
+        assert store.cache_misses == 4
+        store.snapshot("main", max_iteration=3)   # still cached -> hit
+        assert store.cache_hits == 1
 
-    def test_truncate_invalidates_the_snapshot_cache(self):
-        store = VersionedStore(delta_path=True)
-        for iteration in (1, 3, 5):
-            store.put("main", "k", iteration, iteration * 10)
-        assert store.snapshot("main", max_iteration=2) == {"k": 10}
-        assert store.truncate_before("main", 5) == 2
-        # The GC invalidated the cached view: versions 10 and 30 are gone.
-        assert store.snapshot("main", max_iteration=2) == {}
-        assert store.snapshot("main") == {"k": 50}
+    def test_store_params_validated(self):
+        with pytest.raises(StorageError):
+            VersionedStore(rebase_interval=0)
+        with pytest.raises(StorageError):
+            VersionedStore(snapshot_cache_size=0)
 
-    def test_version_count_per_loop_and_total(self):
-        store = VersionedStore(delta_path=True)
-        store.put("main", "a", 1, 10)
-        store.put("main", "a", 2, 20)
-        store.put("branch-1", "b", 1, 30)
-        assert store.version_count("main") == 2
-        assert store.version_count("branch-1") == 1
-        assert store.version_count() == 3
+
+class TestColumnarStore:
+    """Columnar-only behavior: slab rebases and the dense-id fast path."""
+
+    def test_slab_rebases_on_interval(self):
+        store = VersionedStore(columnar=True, rebase_interval=4)
+        for iteration in range(4):
+            store.put("main", "k", iteration, iteration)
+        assert store.rebases == 1         # pending log hit the interval
+        store.put("main", "k", 9, 90)
+        assert store.rebases == 1
+        assert store.get("main", "k") == 90   # read-triggered settle
+        assert store.rebases == 2
+
+    def test_put_columns_scalar_iteration_and_arrays(self):
+        store = VersionedStore(columnar=True)
+        assert store.put_columns("main", [0, 1, 2], 3,
+                                 [1.5, 2.5, 3.5]) == 3
+        assert store.put_columns("main", [1, 2], [4, 5], ["x", "y"]) == 2
+        assert store.puts == 5
+        assert store.snapshot("main") == {0: 1.5, 1: "x", 2: "y"}
+        assert store.get_version("main", 2, max_iteration=4) == (3, 3.5)
+
+    def test_put_columns_keeps_python_key_and_value_types(self):
+        """Keys/values must come back as the exact Python objects that
+        went in — numpy scalars leaking out would poison canonical
+        digests downstream."""
+        store = VersionedStore(columnar=True)
+        store.put_columns("main", ["s", "a"], 0, [(1.0, ("x",)), None])
+        view = store.snapshot("main")
+        assert list(view) == ["s", "a"]
+        assert all(type(key) is str for key in view)
+        assert view["s"] == (1.0, ("x",))
+        assert view["a"] is None
+
+    def test_snapshot_columns_round_trip(self):
+        store = VersionedStore(columnar=True)
+        store.put_columns("main", [0, 1, 2], 0, [5.0, 6.0, 7.0])
+        store.put_columns("main", [1], 1, [60.0])
+        keys, values = store.snapshot_columns("main")
+        assert keys.tolist() == [0, 1, 2]
+        assert values.tolist() == [5.0, 60.0, 7.0]
+        keys_at0, values_at0 = store.snapshot_columns("main",
+                                                      max_iteration=0)
+        assert values_at0.tolist() == [5.0, 6.0, 7.0]
+        with pytest.raises(StorageError):
+            VersionedStore(delta_path=True).snapshot_columns("main")
+
+    def test_iteration_overflow_rejected(self):
+        store = VersionedStore(columnar=True)
+        with pytest.raises(StorageError):
+            store.put("main", "k", 1 << 33, "v")
 
     @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
                               st.integers(0, 12), st.integers(0, 99)),
                     min_size=1, max_size=30),
            st.integers(0, 13))
     def test_layouts_agree_on_any_workload(self, puts, bound):
-        legacy = VersionedStore(delta_path=False)
-        delta = VersionedStore(delta_path=True)
+        stores = [make_store(layout) for layout in LAYOUTS]
         for key, iteration, value in puts:
-            legacy.put("main", key, iteration, value)
-            delta.put("main", key, iteration, value)
-        assert legacy.snapshot("main", max_iteration=bound) \
-            == delta.snapshot("main", max_iteration=bound)
-        assert legacy.version_count("main") == delta.version_count("main")
-        legacy.truncate_before("main", bound)
-        delta.truncate_before("main", bound)
-        assert legacy.snapshot("main") == delta.snapshot("main")
+            for store in stores:
+                store.put("main", key, iteration, value)
+        legacy, others = stores[0], stores[1:]
+        for other in others:
+            assert legacy.snapshot("main", max_iteration=bound) \
+                == other.snapshot("main", max_iteration=bound)
+            assert legacy.version_count("main") \
+                == other.version_count("main")
+        for store in stores:
+            store.truncate_before("main", bound)
+        for other in others:
+            assert legacy.snapshot("main") == other.snapshot("main")
+
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("put"), st.sampled_from(["a", "b", "c", "d"]),
+                      st.integers(0, 15), st.integers(0, 99)),
+            st.tuples(st.just("put_many"),
+                      st.lists(st.tuples(
+                          st.sampled_from(["a", "b", "c", "d"]),
+                          st.integers(0, 15), st.integers(0, 99)),
+                          max_size=5)),
+            st.tuples(st.just("put_if_newer"),
+                      st.sampled_from(["a", "b", "c", "d"]),
+                      st.integers(0, 15), st.integers(0, 99)),
+            st.tuples(st.just("get"), st.sampled_from(["a", "b", "z"]),
+                      st.integers(0, 16)),
+            st.tuples(st.just("snapshot"), st.integers(0, 16)),
+            st.tuples(st.just("truncate"), st.integers(0, 16)),
+            st.tuples(st.just("drop"),
+                      st.sampled_from(["main", "branch"])),
+        ), min_size=1, max_size=40))
+    def test_columnar_equals_legacy_model(self, ops):
+        """Model-based equivalence (the fast-vs-legacy kernel test's
+        storage twin): any interleaving of writes, conditional writes,
+        point reads, snapshots, GC and loop drops observes identical
+        results on the columnar and legacy layouts."""
+        legacy = make_store("legacy")
+        columnar = make_store("columnar")
+        for op in ops:
+            kind = op[0]
+            if kind == "put":
+                _, key, iteration, value = op
+                legacy.put("main", key, iteration, value)
+                columnar.put("main", key, iteration, value)
+            elif kind == "put_many":
+                legacy.put_many("main", op[1])
+                columnar.put_many("main", op[1])
+            elif kind == "put_if_newer":
+                _, key, iteration, value = op
+                assert legacy.put_if_newer("main", key, iteration, value) \
+                    == columnar.put_if_newer("main", key, iteration, value)
+            elif kind == "get":
+                _, key, bound = op
+                assert legacy.get_version("main", key, bound) \
+                    == columnar.get_version("main", key, bound)
+            elif kind == "snapshot":
+                assert legacy.snapshot("main", max_iteration=op[1]) \
+                    == columnar.snapshot("main", max_iteration=op[1])
+            elif kind == "truncate":
+                assert legacy.truncate_before("main", op[1]) \
+                    == columnar.truncate_before("main", op[1])
+            elif kind == "drop":
+                assert legacy.drop_loop(op[1]) == columnar.drop_loop(op[1])
+        assert legacy.snapshot("main") == columnar.snapshot("main")
+        assert legacy.version_count() == columnar.version_count()
 
 
 class TestBackends:
