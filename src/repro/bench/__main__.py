@@ -14,6 +14,8 @@ Usage::
                                           # at R-MAT scale (merges into
                                           # BENCH_perf.json; add
                                           # --check-baseline in CI)
+    python -m repro.bench tenants --quick # zipf multi-tenant JobManager
+                                          # (merges into BENCH_perf.json)
 """
 
 from __future__ import annotations
@@ -28,7 +30,7 @@ from repro.bench import (MEDIUM, SMALL, run_ablation_activation,
                          run_fig6a, run_fig6b, run_fig7a, run_fig7b,
                          run_fig8a, run_fig8b, run_fig9, run_live_bench,
                          run_perf, run_scale, run_skew, run_table1,
-                         run_table2, run_table3)
+                         run_table2, run_table3, run_tenants)
 from repro.bench.harness import ExperimentResult
 
 
@@ -64,6 +66,7 @@ def _experiments(scale, trace: bool = False, quick: bool = False,
         "live": lambda: run_live_bench(quick=quick),
         "scale": lambda: run_scale(quick=quick,
                                    check_baseline=check_baseline),
+        "tenants": lambda: run_tenants(quick=quick),
     }
 
 
@@ -80,6 +83,7 @@ def main(argv: list[str]) -> int:
         experiments.pop("delta")
         experiments.pop("live")
         experiments.pop("scale")
+        experiments.pop("tenants")
     if wanted:
         unknown = [w for w in wanted
                    if not any(k.startswith(w) for k in experiments)]

@@ -311,15 +311,16 @@ def run_perf(quick: bool = False,
     }
     result.extras["report"] = report
     if json_path is not None:
-        # The delta-path bench merges its own section into the same file;
-        # carry it over instead of clobbering it.
+        # Sibling benches merge their own sections into the same file;
+        # carry them over instead of clobbering them.
         try:
             with open(json_path, encoding="utf-8") as handle:
                 previous = json.load(handle)
         except (OSError, json.JSONDecodeError):
             previous = {}
-        if "delta" in previous:
-            report["delta"] = previous["delta"]
+        for section in ("delta", "live", "scale", "tenants"):
+            if section in previous:
+                report[section] = previous[section]
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")

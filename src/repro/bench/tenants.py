@@ -1,0 +1,207 @@
+"""Multi-tenant JobManager benchmark: zipf traffic on a shared pool.
+
+N tenants with zipf-distributed traffic (tenant at rank r carries a
+``1/r^s`` share of the tuple budget) run concurrently under one
+:class:`~repro.core.JobManager`, mixing SSSP / PageRank / reachability
+programs, with WRR weights proportional to each tenant's traffic share.
+Each tenant then runs again *solo* on its own cluster and the wall
+clocks are compared — the manager executes the exact same virtual work,
+so the ratio is the scheduler's multiplexing overhead.
+
+Two shape checks gate the numbers on the isolation oracle: every
+tenant's flight-recorder digest and final vertex state under the shared
+manager must be byte-identical to its solo run.  A benchmark that went
+fast by leaking events between tenants would fail here, not look good::
+
+    python -m repro.bench tenants [--quick]   # merges the "tenants"
+                                              # section into
+                                              # BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+
+from repro.algorithms.graph_common import EdgeStreamRouter
+from repro.algorithms.pagerank import PageRankProgram
+from repro.algorithms.sssp import SSSPProgram
+from repro.bench.harness import ExperimentResult
+from repro.core import (Application, JobManager, TenantQuota, TenantSpec,
+                        TornadoConfig, reachability, run_solo)
+from repro.datagen import livejournal_like
+from repro.streams import UniformRate, edge_stream
+
+QUICK_TENANTS = 3
+FULL_TENANTS = 6
+QUICK_TUPLES = 450
+FULL_TUPLES = 3000
+ZIPF_S = 1.0
+RATE = 1000.0
+SOURCE = 0
+
+
+def _sssp_app() -> Application:
+    return Application(SSSPProgram(SOURCE), EdgeStreamRouter(),
+                       name="sssp")
+
+
+def _pagerank_app() -> Application:
+    return Application(PageRankProgram(tolerance=1e-4),
+                       EdgeStreamRouter(), name="pagerank")
+
+
+def _reach_app() -> Application:
+    return Application(reachability(SOURCE), EdgeStreamRouter(),
+                       name="reach")
+
+
+APPS = (("sssp", _sssp_app), ("pagerank", _pagerank_app),
+        ("reachability", _reach_app))
+
+
+def zipf_shares(n: int, s: float = ZIPF_S) -> list[float]:
+    """Normalized zipf(s) shares for ranks 1..n."""
+    raw = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [value / total for value in raw]
+
+
+def make_tenant_specs(n_tenants: int, total_tuples: int,
+                      s: float = ZIPF_S) -> list[TenantSpec]:
+    """One spec per zipf rank: rank 1 carries the biggest traffic share
+    and the biggest WRR weight; programs cycle through the mix."""
+    shares = zipf_shares(n_tenants, s)
+    specs = []
+    for rank, share in enumerate(shares, start=1):
+        app_name, app_factory = APPS[(rank - 1) % len(APPS)]
+        n_edges = max(30, round(total_tuples * share))
+        edges = livejournal_like(max(16, n_edges // 4), n_edges,
+                                 seed=100 + rank)
+        feeds = tuple(edge_stream(edges, UniformRate(rate=RATE)))
+        feed_end = len(feeds) / RATE
+        weight = max(1, round(3 * share / shares[0]))
+        specs.append(TenantSpec(
+            tenant=f"rank{rank}-{app_name}",
+            app_factory=app_factory,
+            config=TornadoConfig(seed=rank, n_processors=2,
+                                 report_interval=0.01,
+                                 storage_backend="memory",
+                                 trace_enabled=True,
+                                 trace_capacity=400_000),
+            quota=TenantQuota(weight=weight, max_processors=2),
+            feeds=feeds,
+            query_times=((feed_end + 0.3, True),),
+            horizon=feed_end + 1.5,
+        ))
+    return specs
+
+
+def run_tenants(quick: bool = False,
+                json_path: str | None = "BENCH_perf.json",
+                *, n_tenants: int | None = None,
+                total_tuples: int | None = None) -> ExperimentResult:
+    """Run the zipf multi-tenant bench, merge the ``"tenants"`` section
+    into ``json_path`` and return the usual experiment report."""
+    n = n_tenants or (QUICK_TENANTS if quick else FULL_TENANTS)
+    tuples = total_tuples or (QUICK_TUPLES if quick else FULL_TUPLES)
+    specs = make_tenant_specs(n, tuples)
+
+    manager = JobManager(pool_size=2 * n, window=0.25)
+    started = time.perf_counter()
+    for spec in specs:
+        manager.submit(spec)
+    rounds = manager.run_until_all_done()
+    manager_wall = time.perf_counter() - started
+
+    digests = manager.digests()
+    solo_wall = 0.0
+    isolation = {"digests": True, "values": True}
+    runs = []
+    for spec in specs:
+        record = manager.tenants[spec.tenant]
+        solo_started = time.perf_counter()
+        solo = run_solo(spec)
+        tenant_solo_wall = time.perf_counter() - solo_started
+        solo_wall += tenant_solo_wall
+        if digests[spec.tenant] != solo.trace.digest():
+            isolation["digests"] = False
+        if manager.final_values(spec.tenant) != solo.main_values():
+            isolation["values"] = False
+        runs.append({
+            "tenant": spec.tenant,
+            "tuples": len(spec.feeds),
+            "weight": spec.quota.weight,
+            "windows": record.windows,
+            "truncated": record.truncated,
+            "state": record.state,
+            "solo_wall_s": tenant_solo_wall,
+            "digest": digests[spec.tenant][:16],
+        })
+
+    overhead = manager_wall / solo_wall if solo_wall > 0 else 0.0
+    result = ExperimentResult(
+        experiment="tenants",
+        title=f"Multi-tenant JobManager: {n} zipf tenants, shared pool",
+        columns=["tenant", "tuples", "weight", "windows", "truncated",
+                 "solo_wall_s"],
+        notes=(f"zipf s={ZIPF_S}, {tuples} total tuples, WRR window "
+               f"0.25s, pool {2 * n} slots; manager wall "
+               f"{manager_wall:.2f}s over {rounds} rounds vs "
+               f"{solo_wall:.2f}s serial solo (x{overhead:.2f}); "
+               "digests gated by the isolation oracle"),
+    )
+    for run in runs:
+        result.add_row(tenant=run["tenant"], tuples=run["tuples"],
+                       weight=run["weight"], windows=run["windows"],
+                       truncated=run["truncated"],
+                       solo_wall_s=run["solo_wall_s"])
+    result.check("all tenants complete",
+                 set(manager.states().values()) == {"done"},
+                 str(manager.states()))
+    result.check("digests match solo runs (isolation oracle)",
+                 isolation["digests"], f"{n} tenants compared")
+    result.check("final states match solo runs",
+                 isolation["values"], f"{n} tenants compared")
+
+    report = {
+        "bench": "multi_tenant",
+        "version": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "zipf_s": ZIPF_S,
+        "n_tenants": n,
+        "total_tuples": tuples,
+        "pool_size": 2 * n,
+        "window": 0.25,
+        "rounds": rounds,
+        "manager_wall_s": manager_wall,
+        "solo_wall_s": solo_wall,
+        "overhead_ratio": overhead,
+        "isolation": isolation,
+        "runs": runs,
+    }
+    result.extras["report"] = report
+    if json_path is not None:
+        try:
+            with open(json_path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+        payload["tenants"] = report
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return result
+
+
+def main(argv: list[str]) -> int:
+    result = run_tenants(quick="--quick" in argv)
+    print(result.report())
+    return 0 if result.all_checks_pass else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main(sys.argv[1:]))

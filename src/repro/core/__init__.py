@@ -8,11 +8,13 @@
   :class:`VertexContext`, :class:`Application`.
 """
 
-from repro.core.config import TornadoConfig
+from repro.core.config import TenantQuota, TornadoConfig
 from repro.core.dsl import (Algebra, AlgebraicProgram, min_label,
                             reachability, shortest_paths, widest_path)
 from repro.core.ingester import Ingester
-from repro.core.job import QueryResult, TornadoJob
+from repro.core.job import QueryResult, ScheduledQuery, TornadoJob
+from repro.core.jobmanager import (JobManager, ProcessorPool, TenantRecord,
+                                   TenantSpec, run_solo)
 from repro.core.lamport import LamportClock, Timestamp
 from repro.core.master import BranchRecord, Master, MasterDurableState
 from repro.core.metrics import RateSample, RateSampler
@@ -39,6 +41,7 @@ __all__ = [
     "Delta",
     "Ingester",
     "InputRouter",
+    "JobManager",
     "LamportClock",
     "LoopState",
     "MAIN_LOOP",
@@ -46,16 +49,22 @@ __all__ = [
     "MasterDurableState",
     "PartitionScheme",
     "Processor",
+    "ProcessorPool",
     "ProgressTracker",
     "QueryResult",
+    "ScheduledQuery",
     "RateSample",
     "RateSampler",
     "ReliableEndpoint",
     "SendAck",
     "SendPrepare",
+    "TenantQuota",
+    "TenantRecord",
+    "TenantSpec",
     "Timestamp",
     "TornadoConfig",
     "TornadoJob",
+    "run_solo",
     "VertexContext",
     "VertexProgram",
     "VertexProtocol",

@@ -1,8 +1,48 @@
-"""Runtime configuration for a Tornado job."""
+"""Runtime configuration for a Tornado job (and per-tenant quotas)."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission-control limits for one tenant of a shared processor pool
+    (:class:`repro.core.jobmanager.JobManager`).
+
+    The quota is checked at submission time (``max_processors`` against
+    the pool lease) and continuously while the tenant runs: branch-loop
+    forks beyond ``max_branches`` queue or shed exactly like the
+    single-job admission path, feeds beyond ``max_pending_inputs`` raise
+    :class:`~repro.errors.BackpressureError` at the ingester, and a store
+    footprint past ``max_store_bytes`` first triggers a GC and then
+    evicts the tenant.
+    """
+
+    #: Weighted-round-robin share of dispatch windows (≥ 1).
+    weight: int = 1
+    #: Most pool slots (processors) this tenant may lease.
+    max_processors: int = 4
+    #: Concurrent branch loops (tightens the job's own
+    #: ``max_concurrent_branches`` — never loosens it).
+    max_branches: int = 8
+    #: Scheduled-but-not-ingested stream tuples before ``feed`` pushes
+    #: back (the per-tenant ingester backpressure bound).
+    max_pending_inputs: int = 100_000
+    #: Approximate versioned-store footprint before GC, then eviction.
+    max_store_bytes: int = 1 << 30
+
+    def __post_init__(self) -> None:
+        if self.weight < 1:
+            raise ValueError("weight must be >= 1")
+        if self.max_processors < 1:
+            raise ValueError("max_processors must be >= 1")
+        if self.max_branches < 1:
+            raise ValueError("max_branches must be >= 1")
+        if self.max_pending_inputs < 1:
+            raise ValueError("max_pending_inputs must be >= 1")
+        if self.max_store_bytes < 1:
+            raise ValueError("max_store_bytes must be >= 1")
 
 
 @dataclass
@@ -18,6 +58,10 @@ class TornadoConfig:
     n_processors: int = 4
     n_nodes: int = 4
     seed: int = 0
+    #: Tenant namespace label when the job runs under a
+    #: :class:`~repro.core.jobmanager.JobManager` ("" = single-tenant).
+    #: Prefixes the tenant's stream in merged flight-recorder dumps.
+    tenant: str = ""
 
     # ------------------------------------------------------------- backend
     #: Execution backend.  "sim" (default) runs everything on the

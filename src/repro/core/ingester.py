@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.core.config import TornadoConfig
+from repro.errors import BackpressureError
 from repro.core.messages import (MAIN_LOOP, BranchDone, PauseIngest,
                                  PeerRecovered, QueryRejected, QueryRequest,
                                  ResumeIngest, VertexInput)
@@ -38,6 +39,7 @@ class Ingester(Actor):
         self.results: dict[int, BranchDone] = {}
         self.result_times: dict[int, float] = {}
         self.tuples_ingested = 0
+        self.tuples_scheduled = 0
         self.inputs_routed = 0
         self.inputs_replayed = 0
         self.paused = False
@@ -56,15 +58,36 @@ class Ingester(Actor):
         self._journal: list[VertexInput] = []
 
     # -------------------------------------------------------------- feeding
-    def schedule_stream(self, tuples: Iterable[StreamTuple]) -> int:
+    def pending_inputs(self) -> int:
+        """Stream tuples scheduled for delivery but not yet ingested (the
+        per-tenant backpressure signal; held tuples during an ingest pause
+        still count as pending)."""
+        return self.tuples_scheduled - self.tuples_ingested
+
+    def schedule_stream(self, tuples: Iterable[StreamTuple],
+                        max_pending: int | None = None) -> int:
         """Arrange for each tuple to arrive at its timestamp; returns the
-        number of tuples scheduled."""
+        number of tuples scheduled.
+
+        With ``max_pending`` set, the whole batch is rejected with
+        :class:`~repro.errors.BackpressureError` — before scheduling
+        anything — if accepting it would push :meth:`pending_inputs` past
+        the bound.  All-or-nothing keeps the virtual timeline of an
+        admitted feed independent of the rejection history.
+        """
+        batch = list(tuples)
+        if max_pending is not None \
+                and self.pending_inputs() + len(batch) > max_pending:
+            raise BackpressureError(
+                f"{self.name}: {self.pending_inputs()} pending + "
+                f"{len(batch)} offered > max_pending={max_pending}")
         count = 0
-        for tup in tuples:
+        for tup in batch:
             at = max(self.sim.now, tup.timestamp)
             self.sim.schedule_at(at, self.deliver, ("ingest", tup),
                                  self.name)
             count += 1
+        self.tuples_scheduled += count
         return count
 
     # -------------------------------------------------------------- queries

@@ -30,6 +30,21 @@ from repro.streams.model import StreamTuple
 
 
 @dataclass
+class ScheduledQuery:
+    """Handle for a query armed at a fixed virtual instant (see
+    :meth:`TornadoJob.schedule_query`).  ``query_id`` is assigned when
+    the instant fires."""
+
+    at: float
+    full_activation: bool = False
+    query_id: int | None = None
+
+    @property
+    def issued(self) -> bool:
+        return self.query_id is not None
+
+
+@dataclass
 class QueryResult:
     """Outcome of one branch-loop query."""
 
@@ -159,6 +174,23 @@ class TornadoJob:
         """Issue a query for the results at the current instant (paper
         §5.2); returns a query id to poll or wait on."""
         return self.ingester.issue_query(full_activation=full_activation)
+
+    def schedule_query(self, at: float,
+                       full_activation: bool = False) -> ScheduledQuery:
+        """Arm a query to be issued *inside the simulation* at virtual
+        time ``at``.  Unlike :meth:`query` (which issues at whatever
+        instant the driver happens to call it), a scheduled query is part
+        of the event timeline — a job replayed solo or interleaved under
+        a JobManager issues it at exactly the same instant, which is what
+        keeps the flight-recorder digest identical across both runs."""
+        handle = ScheduledQuery(at=at, full_activation=full_activation)
+        self.sim.schedule_at(max(self.sim.now, at),
+                             self._issue_scheduled_query, handle)
+        return handle
+
+    def _issue_scheduled_query(self, handle: ScheduledQuery) -> None:
+        handle.query_id = self.ingester.issue_query(
+            full_activation=handle.full_activation)
 
     def query_rejected(self, query_id: int) -> bool:
         return query_id in self.ingester.rejections

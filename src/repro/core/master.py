@@ -108,6 +108,10 @@ class Master(Actor):
         # drops them and the ingester's retransmissions re-enter them).
         self._query_backlog: list[QueryRequest] = []
         self.queries_shed = 0
+        #: Effective branch-admission cap.  Starts at the config value; a
+        #: JobManager tightens it to the tenant's quota via
+        #: :meth:`set_branch_limit` (never loosened past the config).
+        self.branch_limit = config.max_concurrent_branches
 
     # ------------------------------------------------------------ dispatch
     def handle(self, message: Any, sender: str) -> float:
@@ -294,8 +298,7 @@ class Master(Actor):
                    for q in self._query_backlog):
                 self._query_backlog.append(query)
             return self.config.master_cost
-        if self._active_branch_count() >= \
-                self.config.max_concurrent_branches:
+        if self._active_branch_count() >= self.branch_limit:
             if self.config.branch_admission == "shed":
                 self.durable.seen_queries.add(query.query_id)
                 self.queries_shed += 1
@@ -374,9 +377,13 @@ class Master(Actor):
     def _drain_query_backlog(self) -> None:
         while (self._query_backlog
                and self.durable.migration is None
-               and self._active_branch_count()
-               < self.config.max_concurrent_branches):
+               and self._active_branch_count() < self.branch_limit):
             self._start_branch(self._query_backlog.pop(0))
+
+    def set_branch_limit(self, limit: int) -> None:
+        """Tighten the branch-admission cap (per-tenant quota); the config
+        value stays the ceiling."""
+        self.branch_limit = min(limit, self.config.max_concurrent_branches)
 
     # ------------------------------------------------------------ recovery
     def _handle_processor_recovered(self, msg: ProcessorRecovered) -> float:
@@ -496,6 +503,15 @@ class Master(Actor):
                             tag="migration")
 
     # -------------------------------------------------------------- helpers
+    def total_busy_time(self) -> float:
+        """Cumulative busy time across all processors as last reported
+        (the JobManager's per-tenant load signal)."""
+        return sum(self._busy.values())
+
+    def busy_rates(self) -> dict[str, float]:
+        """The planner's per-processor windowed busy rates."""
+        return self.planner.rates()
+
     def _broadcast(self, payload: Any, tag: str | None = None) -> None:
         for processor in self.processors:
             self.transport.send(processor, payload, tag=tag)

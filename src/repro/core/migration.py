@@ -65,6 +65,10 @@ class MigrationPlanner:
         if vertex_load:
             self._vertex_load[processor] = dict(vertex_load)
 
+    def rates(self) -> dict[str, float]:
+        """Snapshot of the windowed busy rates (read-only copy)."""
+        return dict(self._busy_rate)
+
     def forget(self, processor: str) -> None:
         """Invalidate a processor's stats (it crashed and recovered: its
         busy counter restarted and its hot set is stale)."""

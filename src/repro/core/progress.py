@@ -98,6 +98,14 @@ class ProgressTracker:
     def total_inputs(self) -> int:
         return sum(view.inputs_gathered for view in self._views.values())
 
+    def pending_work(self) -> tuple[int, int]:
+        """``(unacked, buffered)`` totals across processors — the stall
+        diagnostic a JobManager reads when a tenant misses its liveness
+        window."""
+        unacked = sum(view.unacked for view in self._views.values())
+        buffered = sum(view.buffered for view in self._views.values())
+        return unacked, buffered
+
     def min_watermark(self) -> float:
         return min((view.watermark for view in self._views.values()),
                    default=math.inf)

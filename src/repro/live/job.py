@@ -245,6 +245,33 @@ class LiveJob(TornadoJob):
                     f"{self.ingester.transport.unacked})")
             time.sleep(0.002)
 
+    def pump_slice(self, passes: int = 64) -> int:
+        """Bounded pump slice for a JobManager interleaving several live
+        tenants: up to ``passes`` pump passes, stopping early when idle
+        (parked feeds are released once, then the slice yields).  Returns
+        the number of passes that did work."""
+        worked = 0
+        released = False
+        for _ in range(passes):
+            self._check_workers()
+            if self._pump_once():
+                worked += 1
+                continue
+            if (not released and not self.kernel.ready_count
+                    and self.kernel.parked_count):
+                self.kernel.release_parked()
+                released = True
+                continue
+            break
+        return worked
+
+    @property
+    def converged(self) -> bool:
+        """Whether the main loop currently reads as converged (the same
+        evidence :meth:`run_until_converged` confirms over several idle
+        passes — a manager should see this hold across slices)."""
+        return self._converged()
+
     def pump_for(self, seconds: float) -> None:
         """Pump the deployment for a wall-clock duration (the live
         analogue of ``run_for`` — used to get a run mid-flight before

@@ -12,8 +12,9 @@ identical trace, which makes the recorder double as a regression oracle.
 
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
 from repro.obs.report import (phase_counts, render_phase_table,
-                              termination_timeline)
-from repro.obs.trace import TraceEvent, TraceRecorder, merge_dumps
+                              render_tenant_digests, termination_timeline)
+from repro.obs.trace import (TraceEvent, TraceRecorder, merge_dumps,
+                             merge_named_dumps)
 
 __all__ = [
     "Counter",
@@ -23,7 +24,9 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "merge_dumps",
+    "merge_named_dumps",
     "phase_counts",
     "render_phase_table",
+    "render_tenant_digests",
     "termination_timeline",
 ]

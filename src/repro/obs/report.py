@@ -58,6 +58,21 @@ def render_phase_table(recorder: TraceRecorder,
     return "\n".join(lines)
 
 
+def render_tenant_digests(streams: dict[str, TraceRecorder]) -> str:
+    """Aligned text table of per-tenant flight-recorder digests and event
+    counts — the JobManager's isolation-report view."""
+    header = ["tenant", "events", "digest"]
+    rows = [[name, str(streams[name].recorded), streams[name].digest()]
+            for name in sorted(streams)]
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              if rows else len(header[i]) for i in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines.extend("  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+                 for row in rows)
+    return "\n".join(lines)
+
+
 def termination_timeline(recorder: TraceRecorder, loop: str | None = None
                          ) -> list[tuple[str, int, float]]:
     """(loop, iteration, virtual time) for every recorded iteration

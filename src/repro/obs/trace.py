@@ -218,3 +218,17 @@ def merge_dumps(recorders: Iterable[TraceRecorder]) -> str:
     """Concatenate several recorders' dumps (e.g. one per job) into one
     deterministic blob."""
     return "\n--\n".join(recorder.dump() for recorder in recorders)
+
+
+def merge_named_dumps(streams: dict[str, TraceRecorder]) -> str:
+    """Concatenate per-tenant recorder dumps, each line prefixed with its
+    stream name, in sorted stream order — the JobManager's combined
+    flight-recorder view.  Per-stream slices of the result are exactly
+    the tenant's own dump, so the merged blob preserves each tenant's
+    digest oracle."""
+    sections = []
+    for name in sorted(streams):
+        dump = streams[name].dump()
+        lines = dump.split("\n") if dump else []
+        sections.append("\n".join(f"{name}|{line}" for line in lines))
+    return "\n".join(sections)

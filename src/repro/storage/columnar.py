@@ -292,6 +292,17 @@ class _ColumnarLoop:
     def version_count(self) -> int:
         return int(self.comp.size)
 
+    def nbytes(self) -> int:
+        """Slab footprint: base + pending blocks + the scalar tail (the
+        object value columns count pointer width only, matching the flat
+        per-version estimate of the object layouts)."""
+        total = (self.comp.nbytes + self.values.nbytes
+                 + self.offsets.nbytes + self.newest.nbytes)
+        for slots, iters, values in self.pending:
+            total += slots.nbytes + iters.nbytes + values.nbytes
+        total += 24 * len(self.tail_slots)
+        return int(total)
+
     def max_iteration(self, key: Any) -> int | None:
         slot = self.slot_of.get(key)
         if slot is None:
@@ -326,6 +337,9 @@ class ColumnarStore:
     def _maybe_rebase(self, state: _ColumnarLoop) -> None:
         if state.should_rebase(self.rebase_interval) and state.rebase():
             self.stats.rebases += 1
+
+    def nbytes(self) -> int:
+        return sum(state.nbytes() for state in self._loops.values())
 
     # ------------------------------------------------------------ writes
     def put(self, loop: str, key: Any, iteration: int, value: Any) -> None:

@@ -506,6 +506,30 @@ class VersionedStore:
         self.internal_reads += len(out)
         return out
 
+    def approx_bytes(self) -> int:
+        """Deterministic footprint estimate for per-tenant store quotas.
+
+        The object layouts charge a flat ~96 bytes per version (key ref +
+        iteration + value ref + chain overhead), counting pending-log
+        entries without forcing a rebase, so probing the quota leaves the
+        store's rebase cadence untouched.  The columnar layout reports its
+        actual slab ``nbytes``.  Values are held by reference everywhere,
+        so this intentionally ignores value payload sizes — the estimate
+        is stable across layouts and runs, which is what a quota check
+        needs more than physical precision.
+        """
+        if self.columnar:
+            return self._col.nbytes()
+        per_version = 96
+        if self.delta_path:
+            return per_version * sum(
+                len(chain.iterations) + len(chain.pending)
+                for chains in self._loops.values()
+                for chain in chains.values())
+        return per_version * sum(
+            len(chain.iterations) + len(chain.pending)
+            for chain in self._chains.values())
+
     def version_count(self, loop: str | None = None) -> int:
         if self.columnar:
             return self._col.version_count(loop)

@@ -77,4 +77,5 @@ class TestQuickExperiments:
         assert "delta" in experiments
         assert "live" in experiments
         assert "scale" in experiments
-        assert len(experiments) == 23
+        assert "tenants" in experiments
+        assert len(experiments) == 24

@@ -1,0 +1,69 @@
+"""Multi-tenant chaos regressions (ISSUE satellite).
+
+The campaign's :class:`repro.chaos.MultiTenantWorkload` pairs a chaos'd
+tenant (SSSP, planted hot spot, live migrator, disk-backed) with a
+clean tenant on one shared JobManager pool.  This suite pins the two
+harshest schedules from the development campaigns — each shrunk to its
+1-minimal single fault — plus a fault-free determinism check and the
+planted-mutation teeth test, so the isolation oracle under fire can
+never silently regress.
+"""
+
+from repro.chaos import (ChaosSchedule, FaultSpec, MultiTenantWorkload,
+                         run_campaign)
+from repro.chaos.campaign import T_MID
+from repro.core import TornadoJob
+
+
+def outcome_for(faults, skew=0):
+    workload = MultiTenantWorkload(planted_restart_skew=skew)
+    return workload.run_chaos(ChaosSchedule(seed=0, faults=faults))
+
+
+class TestPinnedSchedules:
+    def test_master_kill_mid_query_1minimal(self):
+        # 1-minimal: kill the chaotic tenant's master exactly at its
+        # mid-chaos query instant, while the hot-spot migration is in
+        # flight.  The clean neighbour must not notice.
+        outcome = outcome_for([
+            FaultSpec(kind="kill", start=T_MID, duration=0.4,
+                      a=TornadoJob.MASTER)])
+        assert outcome.passed, [r.line() for r in outcome.failures()]
+
+    def test_disk_stall_under_hot_spot_1minimal(self):
+        # 1-minimal: stall the hot processor's disk while it owns every
+        # vertex of the chaotic tenant.
+        outcome = outcome_for([
+            FaultSpec(kind="disk_stall", start=1.0, duration=0.5,
+                      a="proc-0")])
+        assert outcome.passed, [r.line() for r in outcome.failures()]
+
+    def test_fault_free_run_is_deterministic(self):
+        workload = MultiTenantWorkload()
+        schedule = ChaosSchedule(seed=0, faults=[])
+        first = workload.run_chaos(schedule)
+        second = workload.run_chaos(schedule)
+        assert first.passed, [r.line() for r in first.failures()]
+        assert first.digest == second.digest
+
+
+class TestOracleTeeth:
+    def test_planted_skew_caught_on_the_chaotic_tenant_only(self):
+        # The restart-skew mutation is planted in tenant A's manifest;
+        # A's manifest-consistency oracle must catch it while every
+        # isolation oracle for the clean tenant still holds.
+        outcome = outcome_for([], skew=1)
+        assert not outcome.passed
+        failed = {r.oracle for r in outcome.failures()}
+        assert failed == {"chaotic:manifest-consistency"}
+
+
+class TestQuickCampaign:
+    def test_seeded_schedules_all_pass(self):
+        report = run_campaign([MultiTenantWorkload()],
+                              schedules_per_workload=3, base_seed=1,
+                              out_dir=None, log=lambda *_: None,
+                              shrink_failures=False)
+        assert report.passed, [r.line()
+                               for o in report.failed
+                               for r in o.failures()]
