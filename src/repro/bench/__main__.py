@@ -16,6 +16,10 @@ Usage::
                                           # --check-baseline in CI)
     python -m repro.bench tenants --quick # zipf multi-tenant JobManager
                                           # (merges into BENCH_perf.json)
+    python -m repro.bench placement       # resource-aware placement A/B +
+                                          # critical-path bottleneck oracle
+                                          # (merges into BENCH_perf.json;
+                                          # add --check-baseline in CI)
 """
 
 from __future__ import annotations
@@ -29,7 +33,8 @@ from repro.bench import (MEDIUM, SMALL, run_ablation_activation,
                          run_delta, run_failure_figure, run_fig5,
                          run_fig6a, run_fig6b, run_fig7a, run_fig7b,
                          run_fig8a, run_fig8b, run_fig9, run_live_bench,
-                         run_perf, run_scale, run_skew, run_table1,
+                         run_perf, run_placement, run_scale, run_skew,
+                         run_table1,
                          run_table2, run_table3, run_tenants)
 from repro.bench.harness import ExperimentResult
 
@@ -64,6 +69,8 @@ def _experiments(scale, trace: bool = False, quick: bool = False,
         "perf": lambda: run_perf(quick=quick),
         "delta": lambda: run_delta(quick=quick),
         "live": lambda: run_live_bench(quick=quick),
+        "placement": lambda: run_placement(
+            quick=quick, check_baseline=check_baseline),
         "scale": lambda: run_scale(quick=quick,
                                    check_baseline=check_baseline),
         "tenants": lambda: run_tenants(quick=quick),
@@ -82,6 +89,7 @@ def main(argv: list[str]) -> int:
         experiments.pop("perf")
         experiments.pop("delta")
         experiments.pop("live")
+        experiments.pop("placement")
         experiments.pop("scale")
         experiments.pop("tenants")
     if wanted:

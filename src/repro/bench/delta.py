@@ -40,7 +40,6 @@ reorders and merges messages but may not change any converged result)::
 from __future__ import annotations
 
 import hashlib
-import json
 import platform
 import sys
 import time
@@ -48,7 +47,7 @@ from typing import Any, Callable
 
 from repro.algorithms import PageRankProgram
 from repro.algorithms.graph_common import EdgeStreamRouter
-from repro.bench.harness import ExperimentResult
+from repro.bench.harness import ExperimentResult, merge_bench_json
 from repro.bench.workloads import Scale, base_config, sssp_bundle
 from repro.core import Application, TornadoJob
 from repro.core.job import QueryResult
@@ -296,15 +295,7 @@ def run_delta(quick: bool = False,
     }
     result.extras["report"] = report
     if json_path is not None:
-        try:
-            with open(json_path, encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            payload = {}
-        payload["delta"] = report
-        with open(json_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        merge_bench_json(json_path, {"delta": report})
     return result
 
 

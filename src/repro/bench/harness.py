@@ -9,10 +9,48 @@ wins, what grows, where it flattens).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 import numpy as np
+
+#: Top-level sections of ``BENCH_perf.json`` owned by sibling bench
+#: writers (the perf bench owns everything else at the top level).
+BENCH_SECTIONS = ("delta", "live", "placement", "scale", "tenants")
+
+
+def merge_bench_json(json_path: str, updates: dict[str, Any],
+                     replace_base: bool = False) -> dict[str, Any]:
+    """Read-modify-write merge of ``updates`` into the shared benchmark
+    JSON file — the one place every bench writer goes through, so no
+    writer can clobber a sibling's section again.
+
+    Default mode (section writers: ``merge_bench_json(path, {"delta":
+    report})``) keeps every previous top-level key that ``updates`` does
+    not name.  ``replace_base=True`` (the perf writer, which owns the
+    top level) rebuilds the payload from ``updates`` and carries over
+    only the known sibling sections (:data:`BENCH_SECTIONS`) from the
+    previous file.  A missing or unparsable file merges as empty.
+    Returns the merged payload as written.
+    """
+    try:
+        with open(json_path, encoding="utf-8") as handle:
+            previous = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        previous = {}
+    if replace_base:
+        payload = dict(updates)
+        for section in BENCH_SECTIONS:
+            if section in previous and section not in payload:
+                payload[section] = previous[section]
+    else:
+        payload = dict(previous)
+        payload.update(updates)
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
 
 
 @dataclass

@@ -24,7 +24,6 @@ host load::
 from __future__ import annotations
 
 import hashlib
-import json
 import math
 import platform
 import sys
@@ -33,7 +32,7 @@ from typing import Any
 
 from repro.algorithms.graph_common import EdgeStreamRouter
 from repro.algorithms.sssp import SSSPProgram, reference_sssp
-from repro.bench.harness import ExperimentResult
+from repro.bench.harness import ExperimentResult, merge_bench_json
 from repro.core import Application, TornadoConfig, TornadoJob
 from repro.datagen import livejournal_like
 from repro.streams import UniformRate, edge_stream
@@ -131,15 +130,7 @@ def run_live_bench(quick: bool = False,
     }
     result.extras["report"] = report
     if json_path is not None:
-        try:
-            with open(json_path, encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            payload = {}
-        payload["live"] = report
-        with open(json_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        merge_bench_json(json_path, {"live": report})
     return result
 
 

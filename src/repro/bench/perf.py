@@ -41,7 +41,7 @@ from collections import deque
 from dataclasses import replace
 from typing import Any, Callable
 
-from repro.bench.harness import ExperimentResult
+from repro.bench.harness import ExperimentResult, merge_bench_json
 from repro.bench.skew import skew_section
 from repro.bench.workloads import SMALL, Scale, sssp_bundle
 from repro.simulator import Actor, Network, Simulator
@@ -313,17 +313,7 @@ def run_perf(quick: bool = False,
     if json_path is not None:
         # Sibling benches merge their own sections into the same file;
         # carry them over instead of clobbering them.
-        try:
-            with open(json_path, encoding="utf-8") as handle:
-                previous = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            previous = {}
-        for section in ("delta", "live", "scale", "tenants"):
-            if section in previous:
-                report[section] = previous[section]
-        with open(json_path, "w", encoding="utf-8") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        merge_bench_json(json_path, report, replace_base=True)
     return result
 
 

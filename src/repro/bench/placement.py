@@ -1,0 +1,247 @@
+"""Resource-aware placement benchmark: end-to-end A/B on a constrained
+fabric, plus the critical-path bottleneck oracle.
+
+Two questions, both answered in *virtual* time (exact replay facts,
+machine independent):
+
+1. **Does submission-time packing pay end to end?**  The same SSSP
+   stream runs twice on a heterogeneous two-node cluster whose fabric
+   has a finite message capacity — the regime R-Storm targets, where
+   inter-node traffic is the scarce resource.  ``round_robin`` is the
+   paper's hash layout; ``resource_aware`` profiles the stream and packs
+   connected vertices together (:mod:`repro.core.placement`).  The
+   score is completion time: ingest the full stream, then run to
+   quiescence.  Both runs must converge to identical vertex values
+   (placement may only move work, never change results), and the
+   resource-aware run must finish ≥1.3x faster at full size.
+
+2. **Does the critical-path analyser find a planted bottleneck?**  A
+   separate traced run plants a delay spike on one processor link; the
+   SnailTrail extractor (:mod:`repro.obs.critical_path`) must rank that
+   link first, twice, with byte-identical traces — the reproducibility
+   oracle for the analysis itself.
+
+::
+
+    python -m repro.bench placement [--quick]   # merges the
+                                                # "placement" section
+                                                # into BENCH_perf.json
+    python -m repro.bench.placement --check-baseline   # CI: validate the
+                                                       # committed section
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import Any
+
+from repro.bench.harness import ExperimentResult, merge_bench_json
+from repro.bench.workloads import Scale, sssp_bundle
+from repro.obs.critical_path import extract_critical_path
+
+#: Full/quick workload sizes (virtual-time bench: quick only trims wall
+#: clock, the ratios are comparable at either size).
+FULL_SCALE = Scale(n_vertices=400, n_edges=2000, stream_rate=100_000.0)
+QUICK_SCALE = Scale(n_vertices=200, n_edges=900, stream_rate=100_000.0)
+#: Fabric capacity ceiling (messages per virtual second) — tight enough
+#: that remote traffic, not compute, bounds completion.
+NET_CAPACITY = 40_000.0
+#: Heterogeneous cluster: even nodes twice as capacious as odd ones.
+NODE_CAPACITY = (2.0, 1.0)
+#: Acceptance floor for resource-aware over round-robin completion.
+SPEEDUP_FLOOR = 1.3
+QUICK_SPEEDUP_FLOOR = 1.1
+
+#: Planted-bottleneck run: sizes, the slowed link and the spike.
+BOTTLENECK_SCALE = Scale(n_vertices=120, n_edges=600,
+                         stream_rate=100_000.0)
+BOTTLENECK_LINK = ("proc-2", "proc-1")
+BOTTLENECK_DELAY = 5e-3
+
+
+def _run_mode(scale: Scale, placement: str) -> dict[str, Any]:
+    """One end-to-end run; returns virtual completion time and traffic."""
+    overrides: dict[str, Any] = dict(
+        n_processors=4, n_nodes=2, net_capacity=NET_CAPACITY,
+        gather_cost=1e-5, placement=placement)
+    if placement == "resource_aware":
+        overrides["placement_node_capacity"] = NODE_CAPACITY
+    bundle = sssp_bundle(scale, **overrides)
+    job = bundle.job
+    job.feed(bundle.stream)
+    total = len(bundle.stream)
+    job.run_until(lambda: job.ingester.tuples_ingested >= total)
+    job.run_until(job.quiescent, max_events=200_000_000)
+    out: dict[str, Any] = {
+        "placement": placement,
+        "tuples": total,
+        "completion_vs": job.sim.now,
+        "remote_messages": job.network.stats.remote_sent,
+        "total_messages": job.network.stats.sent,
+        "values": job.main_values(),
+    }
+    plan = job.placement_plan
+    if plan is not None:
+        out["cut_cost"] = plan.cut_cost
+        out["baseline_cut_cost"] = plan.baseline_cut_cost
+        out["cut_improvement"] = plan.improvement
+        out["assignments_digest"] = hash_assignments(plan.assignments)
+    return out
+
+
+def hash_assignments(assignments: dict[Any, str]) -> str:
+    """Deterministic fingerprint of a placement plan."""
+    import hashlib
+    text = ";".join(f"{vertex}={proc}" for vertex, proc in
+                    sorted(assignments.items(),
+                           key=lambda kv: str(kv[0])))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _bottleneck_run() -> tuple[str, dict[str, float]]:
+    """One traced run with the planted slow link; returns the trace
+    digest and the extracted link criticality scores."""
+    bundle = sssp_bundle(BOTTLENECK_SCALE, n_processors=4, n_nodes=4,
+                         trace_enabled=True, trace_links=True,
+                         trace_capacity=2_000_000)
+    job = bundle.job
+    src, dst = BOTTLENECK_LINK
+    job.network.add_delay(BOTTLENECK_DELAY, src, dst)
+    job.feed(bundle.stream)
+    total = len(bundle.stream)
+    job.run_until(lambda: job.ingester.tuples_ingested >= total)
+    job.run_until(job.quiescent, max_events=200_000_000)
+    report = extract_critical_path(job.trace)
+    scores = {f"{a}->{b}": score
+              for (a, b), score in report.link_scores().items()}
+    return job.trace.digest(), scores
+
+
+def run_placement(quick: bool = False,
+                  json_path: str | None = "BENCH_perf.json",
+                  *, scale: Scale | None = None,
+                  check_baseline: bool = False) -> ExperimentResult:
+    """Run the placement A/B and the bottleneck oracle, merge the
+    ``"placement"`` section into ``json_path`` and return the experiment
+    report.  ``check_baseline`` (CI) validates the *committed* full-size
+    section instead of overwriting it."""
+    scale = scale or (QUICK_SCALE if quick else FULL_SCALE)
+    modes = {name: _run_mode(scale, name)
+             for name in ("round_robin", "resource_aware")}
+    rr, ra = modes["round_robin"], modes["resource_aware"]
+    speedup = (rr["completion_vs"] / ra["completion_vs"]
+               if ra["completion_vs"] > 0 else 0.0)
+    values_match = rr.pop("values") == ra.pop("values")
+    traffic_ratio = (rr["remote_messages"] / ra["remote_messages"]
+                     if ra["remote_messages"] else 0.0)
+
+    # Determinism: a second resource-aware run must produce the same plan.
+    replay = _run_mode(scale, "resource_aware")
+    replay.pop("values")
+    plan_deterministic = (replay["assignments_digest"]
+                          == ra["assignments_digest"]
+                          and replay["completion_vs"]
+                          == ra["completion_vs"])
+
+    digest_a, scores_a = _bottleneck_run()
+    digest_b, scores_b = _bottleneck_run()
+    planted = f"{BOTTLENECK_LINK[0]}->{BOTTLENECK_LINK[1]}"
+    ranked = sorted(scores_a, key=lambda link: (-scores_a[link], link))
+    bottleneck_first = bool(ranked) and ranked[0] == planted
+    bottleneck_reproducible = (digest_a == digest_b
+                               and scores_a == scores_b)
+
+    result = ExperimentResult(
+        experiment="placement",
+        title=(f"Resource-aware placement at {scale.n_vertices}v/"
+               f"{scale.n_edges}e on a {NET_CAPACITY:.0f} msg/s fabric"),
+        columns=["mode", "tuples", "completion_vs", "remote_msgs",
+                 "cut_cost"],
+        notes=(f"virtual-time completion (ingest + quiesce); node "
+               f"capacity {NODE_CAPACITY} cycled over 2 nodes; "
+               f"resource-aware/round-robin x{speedup:.2f}, remote "
+               f"traffic x{traffic_ratio:.2f} lower; planted bottleneck "
+               f"{planted} criticality "
+               f"{scores_a.get(planted, 0.0):.1%}"),
+    )
+    for name in ("round_robin", "resource_aware"):
+        mode = modes[name]
+        result.add_row(mode=name, tuples=mode["tuples"],
+                       completion_vs=mode["completion_vs"],
+                       remote_msgs=mode["remote_messages"],
+                       cut_cost=mode.get("cut_cost"))
+    floor = QUICK_SPEEDUP_FLOOR if quick else SPEEDUP_FLOOR
+    result.check(
+        f"resource-aware ≥{floor}x round-robin end-to-end"
+        + (" (smoke)" if quick else ""),
+        speedup >= floor, f"speedup={speedup:.2f}x")
+    result.check("identical converged values under both placements",
+                 values_match)
+    result.check("plan and completion deterministic across reruns",
+                 plan_deterministic)
+    result.check("planted bottleneck link ranked first",
+                 bottleneck_first,
+                 f"top={ranked[0] if ranked else None}")
+    result.check("bottleneck ranking reproducible (byte-identical "
+                 "traces)", bottleneck_reproducible,
+                 f"digest={digest_a[:16]}…")
+
+    report = {
+        "bench": "resource_aware_placement",
+        "version": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "n_vertices": scale.n_vertices,
+        "n_edges": scale.n_edges,
+        "net_capacity": NET_CAPACITY,
+        "node_capacity": list(NODE_CAPACITY),
+        "speedup": speedup,
+        "traffic_ratio": traffic_ratio,
+        "values_match": values_match,
+        "plan_deterministic": plan_deterministic,
+        "modes": {name: {k: v for k, v in mode.items()
+                         if k != "values"}
+                  for name, mode in modes.items()},
+        "bottleneck": {
+            "planted": planted,
+            "delay_s": BOTTLENECK_DELAY,
+            "first": bottleneck_first,
+            "reproducible": bottleneck_reproducible,
+            "scores": scores_a,
+            "digest": digest_a,
+        },
+    }
+    result.extras["report"] = report
+
+    if check_baseline:
+        try:
+            with open(json_path or "BENCH_perf.json",
+                      encoding="utf-8") as handle:
+                committed = json.load(handle).get("placement", {})
+        except (OSError, json.JSONDecodeError):
+            committed = {}
+        committed_speedup = committed.get("speedup", 0.0)
+        committed_ok = (not committed.get("quick", True)
+                        and committed_speedup >= SPEEDUP_FLOOR
+                        and committed.get("bottleneck", {}).get("first"))
+        result.check(
+            f"committed full-size baseline meets the ≥{SPEEDUP_FLOOR}x "
+            "floor with the bottleneck ranked first",
+            committed_ok,
+            f"committed speedup={committed_speedup}")
+    elif json_path is not None:
+        merge_bench_json(json_path, {"placement": report})
+    return result
+
+
+def main(argv: list[str]) -> int:
+    result = run_placement(quick="--quick" in argv,
+                           check_baseline="--check-baseline" in argv)
+    print(result.report())
+    return 0 if result.all_checks_pass else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main(sys.argv[1:]))

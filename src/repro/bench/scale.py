@@ -41,7 +41,7 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
-from repro.bench.harness import ExperimentResult
+from repro.bench.harness import ExperimentResult, merge_bench_json
 from repro.core.columnar import BulkRunner
 from repro.datagen.graphs import rmat_edges_fast
 from repro.storage.versioned import VersionedStore
@@ -277,11 +277,7 @@ def run_scale(quick: bool = False,
             committed_ok,
             f"committed pagerank speedup={committed_speedup}")
     elif json_path is not None:
-        payload = _load_json(json_path)
-        payload["scale"] = report
-        with open(json_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        merge_bench_json(json_path, {"scale": report})
     return result
 
 

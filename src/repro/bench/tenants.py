@@ -20,7 +20,6 @@ fast by leaking events between tenants would fail here, not look good::
 
 from __future__ import annotations
 
-import json
 import platform
 import sys
 import time
@@ -28,7 +27,7 @@ import time
 from repro.algorithms.graph_common import EdgeStreamRouter
 from repro.algorithms.pagerank import PageRankProgram
 from repro.algorithms.sssp import SSSPProgram
-from repro.bench.harness import ExperimentResult
+from repro.bench.harness import ExperimentResult, merge_bench_json
 from repro.core import (Application, JobManager, TenantQuota, TenantSpec,
                         TornadoConfig, reachability, run_solo)
 from repro.datagen import livejournal_like
@@ -185,15 +184,7 @@ def run_tenants(quick: bool = False,
     }
     result.extras["report"] = report
     if json_path is not None:
-        try:
-            with open(json_path, encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            payload = {}
-        payload["tenants"] = report
-        with open(json_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        merge_bench_json(json_path, {"tenants": report})
     return result
 
 

@@ -154,6 +154,22 @@ class TornadoConfig:
     #: direction of paper §8).
     branch_admission: str = "queue"
 
+    # ----------------------------------------------------------- placement
+    #: Submission-time vertex placement.  "round_robin" (the default) is
+    #: the paper's layout: vertices hash onto processors, processors map
+    #: onto nodes round-robin — byte-identical to the pre-placement
+    #: runtime.  "resource_aware" runs the R-Storm-style packer
+    #: (:mod:`repro.core.placement`) over the first fed stream: demand
+    #: vectors (declared by the program or profiled from the stream) are
+    #: packed onto processors to minimise network-distance-weighted
+    #: traffic under capacity constraints, and the resulting pins are
+    #: applied to the partition scheme before ingestion starts.
+    placement: str = "round_robin"
+    #: Relative capacity per node (cycled over nodes; empty = uniform).
+    #: ``(2.0, 1.0)`` makes even nodes twice as capacious as odd ones —
+    #: the heterogeneous-cluster knob for the placement benchmark.
+    placement_node_capacity: tuple = ()
+
     # ----------------------------------------------------------- balancing
     #: Enable the master's load rebalancer (paper §5.1): when processor
     #: busy times skew beyond ``rebalance_factor``, ingestion is paused,
@@ -172,6 +188,14 @@ class TornadoConfig:
     rebalance_mode: str = "live"
     #: Most vertices a single live-migration plan may move.
     migration_max_batch: int = 16
+    #: Weight of the critical-path feedback term in the migration
+    #: planner's cost model: per-processor criticality scores (fed back
+    #: from a :class:`repro.obs.critical_path.CriticalPathReport` via
+    #: :meth:`~repro.core.master.Master.apply_criticality`) inflate a
+    #: processor's estimated load by ``1 + weight * score``.  0 (the
+    #: default) disables the term — byte-identical planning either way
+    #: until scores are actually applied.
+    migration_criticality_weight: float = 0.0
     #: How many ``(vertex, weight)`` load pairs each progress report
     #: carries for the planner.
     migration_report_top_k: int = 8
@@ -183,6 +207,12 @@ class TornadoConfig:
     trace_enabled: bool = False
     #: Ring-buffer capacity of the flight recorder (events retained).
     trace_capacity: int = 262_144
+    #: Record one ``net.send`` event (src, dst, eta) per network delivery
+    #: while tracing — the communication edges the critical-path
+    #: extractor (:mod:`repro.obs.critical_path`) walks.  Off by default:
+    #: link events are high-volume and change the trace digest, so the
+    #: digest oracles keep running against the link-free vocabulary.
+    trace_links: bool = False
 
     #: Extra safety margin for approximate-mode forks: also activate
     #: vertices that committed within this window of virtual seconds
@@ -216,6 +246,14 @@ class TornadoConfig:
         if self.rebalance_mode not in ("live", "pause"):
             raise ValueError(
                 f"unknown rebalance mode: {self.rebalance_mode!r}")
+        if self.placement not in ("round_robin", "resource_aware"):
+            raise ValueError(
+                f"unknown placement policy: {self.placement!r}")
+        if any(c <= 0 for c in self.placement_node_capacity):
+            raise ValueError("node capacities must be positive")
+        if self.migration_criticality_weight < 0:
+            raise ValueError(
+                "migration_criticality_weight must be >= 0")
         if self.migration_max_batch < 1:
             raise ValueError("migration_max_batch must be >= 1")
         if self.migration_report_top_k < 1:

@@ -512,6 +512,15 @@ class Master(Actor):
         """The planner's per-processor windowed busy rates."""
         return self.planner.rates()
 
+    def apply_criticality(self, scores: dict[str, float]) -> None:
+        """Feed per-processor critical-path scores (from
+        :meth:`repro.obs.critical_path.CriticalPathReport.
+        processor_scores`) into the migration planner's cost model — a
+        no-op unless ``config.migration_criticality_weight > 0``.  The
+        scores are in-memory only (like the rest of the load stats), so a
+        master restart drops them."""
+        self.planner.set_criticality(scores)
+
     def _broadcast(self, payload: Any, tag: str | None = None) -> None:
         for processor in self.processors:
             self.transport.send(processor, payload, tag=tag)

@@ -43,6 +43,10 @@ class MigrationPlanner:
         self._busy_rate: dict[str, float] = {}
         #: vertex -> gather weight, per processor (last report wins).
         self._vertex_load: dict[str, dict[Any, int]] = {}
+        #: Per-processor critical-path scores (fraction of the critical
+        #: path spent on that processor), applied via
+        #: :meth:`set_criticality`.  Empty = no feedback.
+        self._criticality: dict[str, float] = {}
 
     # ------------------------------------------------------------ feeding
     def observe(self, processor: str, busy_time: float, now: float,
@@ -50,10 +54,20 @@ class MigrationPlanner:
         """Fold one main-loop progress report into the load model."""
         last_busy = self._busy_total.get(processor)
         last_time = self._obs_time.get(processor)
+        if last_busy is not None and busy_time < last_busy:
+            # Counter regression: the processor crashed and recovered, so
+            # its cumulative busy counter restarted from zero.  The first
+            # post-recovery window is unmeasurable — folding its clamped-0
+            # delta into the EWMA would drag a genuinely hot processor's
+            # rate down and mask real imbalance.  Re-seed the baseline and
+            # skip the window instead (the rate resumes from the next
+            # report pair).
+            self._busy_total[processor] = busy_time
+            self._obs_time[processor] = now
+            return
         if last_busy is not None and last_time is not None \
                 and now > last_time:
-            delta = max(0.0, busy_time - last_busy)
-            window = delta / (now - last_time)
+            window = (busy_time - last_busy) / (now - last_time)
             previous = self._busy_rate.get(processor)
             if previous is None:
                 self._busy_rate[processor] = window
@@ -77,6 +91,16 @@ class MigrationPlanner:
         self._busy_rate.pop(processor, None)
         self._vertex_load.pop(processor, None)
 
+    def set_criticality(self, scores: dict[str, float]) -> None:
+        """Feed per-processor critical-path scores (from a
+        :class:`repro.obs.critical_path.CriticalPathReport`) into the
+        cost model: with ``migration_criticality_weight > 0``, a
+        processor that dominated the critical path looks proportionally
+        hotter to :meth:`plan`, so its vertices move first.  Passing an
+        empty dict clears the feedback."""
+        self._criticality = {name: max(0.0, float(score))
+                             for name, score in scores.items()}
+
     # ----------------------------------------------------------- planning
     def imbalanced(self, processors: list[str]) -> bool:
         """The trigger condition, evaluated on windowed rates: every
@@ -97,6 +121,13 @@ class MigrationPlanner:
         if not self.imbalanced(processors):
             return ()
         est = {name: self._busy_rate[name] for name in processors}
+        weight = self.config.migration_criticality_weight
+        if weight > 0 and self._criticality:
+            # Critical-path feedback: time on the critical path hurts
+            # end-to-end latency one-for-one, so criticality inflates the
+            # estimated load beyond what busy rate alone reports.
+            for name in processors:
+                est[name] *= 1.0 + weight * self._criticality.get(name, 0.0)
         moves: list[tuple[Any, str, str]] = []
         sources = sorted(processors, key=lambda p: (-est[p], p))
         for source in sources:

@@ -1,0 +1,342 @@
+"""Submission-time resource-aware placement (R-Storm-style, PAPERS.md).
+
+The MigrationPlanner (``repro.core.migration``) reacts to skew *after*
+it has formed; this module attacks the other end of the problem: the
+initial layout.  Following R-Storm, every schedulable component — here a
+vertex — carries a **demand vector** (CPU / memory / bandwidth), either
+declared by the program (:meth:`repro.core.vertex.VertexProgram.
+resource_demand`) or estimated from a profiling pre-run over the stream
+(:func:`profile_stream` routes the tuples exactly like the ingester
+will and reads demand out of the induced gather counts and edge
+fan-out).  The cluster side is a :class:`ClusterModel`: processors
+pinned to nodes, per-processor capacity vectors, and a network-distance
+function (same processor < same node < cross-node) mirroring the
+simulator's fabric costs.
+
+:class:`ResourceAwarePlacer` packs vertices onto processors greedily,
+most demanding first — each vertex goes to the processor maximising
+``affinity_gain - overload_penalty``, where the gain counts
+distance-discounted traffic to already-placed neighbours and the
+penalty charges projected capacity overshoot.  All orderings are
+deterministic (ties break on ``str(vertex)`` / processor name), so the
+plan is a pure function of its inputs and the placed run replays
+byte-identically under one seed.
+
+The loop closes with the critical-path analyser
+(:mod:`repro.obs.critical_path`): :func:`refine_affinity` re-weights the
+affinity of vertex pairs whose processor link dominated a previous
+run's critical path, so a re-submitted job packs the hot link's
+endpoints together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.config import TornadoConfig
+
+#: Distance between two processors sharing a node (the simulator's
+#: ``local_latency`` regime) relative to a cross-node hop of 1.0.
+LOCAL_DISTANCE = 0.1
+#: Overload penalty weight: capacity violations must dominate affinity
+#: gains or a hub node would swallow the whole graph.
+OVERLOAD_WEIGHT = 4.0
+
+
+@dataclass(frozen=True)
+class DemandVector:
+    """Per-component resource demand (R-Storm's task vector)."""
+
+    cpu: float = 1.0
+    memory: float = 1.0
+    bandwidth: float = 1.0
+
+    def magnitude(self) -> float:
+        """L1 size — the greedy placement order key."""
+        return self.cpu + self.memory + self.bandwidth
+
+    def plus(self, other: "DemandVector") -> "DemandVector":
+        return DemandVector(self.cpu + other.cpu,
+                            self.memory + other.memory,
+                            self.bandwidth + other.bandwidth)
+
+    def scaled(self, factor: float) -> "DemandVector":
+        return DemandVector(self.cpu * factor, self.memory * factor,
+                            self.bandwidth * factor)
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.cpu, self.memory, self.bandwidth)
+
+
+ZERO_DEMAND = DemandVector(0.0, 0.0, 0.0)
+
+
+class ClusterModel:
+    """Processors, their nodes, per-processor capacity and distances."""
+
+    def __init__(self, processors: list[str], node_of: Mapping[str, str],
+                 capacities: Mapping[str, DemandVector] | None = None,
+                 local_distance: float = LOCAL_DISTANCE,
+                 remote_distance: float = 1.0) -> None:
+        if not processors:
+            raise ValueError("need at least one processor")
+        self.processors = list(processors)
+        self.node_of = dict(node_of)
+        for name in self.processors:
+            if name not in self.node_of:
+                raise ValueError(f"no node for processor {name!r}")
+        self.capacities = (dict(capacities) if capacities is not None
+                           else {name: DemandVector()
+                                 for name in self.processors})
+        self.local_distance = local_distance
+        self.remote_distance = remote_distance
+
+    @classmethod
+    def from_config(cls, config: TornadoConfig) -> "ClusterModel":
+        """The cluster a :class:`~repro.core.job.TornadoJob` builds:
+        ``proc-i`` on ``node(i % n_nodes)``, capacity scaled by
+        ``config.placement_node_capacity`` (cycled; empty = uniform)."""
+        processors = [f"proc-{i}" for i in range(config.n_processors)]
+        node_of = {name: f"node{i % config.n_nodes}"
+                   for i, name in enumerate(processors)}
+        weights = config.placement_node_capacity
+        capacities = {}
+        for i, name in enumerate(processors):
+            node_index = i % config.n_nodes
+            scale = (weights[node_index % len(weights)]
+                     if weights else 1.0)
+            capacities[name] = DemandVector().scaled(scale)
+        return cls(processors, node_of, capacities)
+
+    def distance(self, a: str, b: str) -> float:
+        """Network distance between two processors: 0 on the same
+        processor, cheap on the same node, 1 across nodes."""
+        if a == b:
+            return 0.0
+        if self.node_of.get(a) == self.node_of.get(b):
+            return self.local_distance
+        return self.remote_distance
+
+    def capacity_share(self, processor: str) -> float:
+        """This processor's fraction of total cluster capacity (by L1
+        magnitude) — the load target the packer balances against."""
+        total = sum(cap.magnitude() for cap in self.capacities.values())
+        if total <= 0:
+            return 1.0 / len(self.processors)
+        return self.capacities[processor].magnitude() / total
+
+
+# -------------------------------------------------------------- demands
+def estimate_demands(edges: Iterable[tuple],
+                     ) -> dict[Any, DemandVector]:
+    """Degree-based demand estimate for an edge workload: gather work
+    (CPU) follows in-degree, scatter traffic (bandwidth) follows
+    out-degree, state (memory) is one slot per vertex."""
+    in_deg: dict[Any, int] = {}
+    out_deg: dict[Any, int] = {}
+    for edge in edges:
+        u, v = edge[0], edge[1]
+        out_deg[u] = out_deg.get(u, 0) + 1
+        in_deg[v] = in_deg.get(v, 0) + 1
+        in_deg.setdefault(u, 0)
+        out_deg.setdefault(v, 0)
+    return {vertex: DemandVector(cpu=1.0 + in_deg[vertex],
+                                 memory=1.0,
+                                 bandwidth=float(out_deg[vertex]))
+            for vertex in in_deg}
+
+
+def _edge_endpoints(payload: Any) -> tuple[Any, Any] | None:
+    """``(u, v)`` if the payload looks like an edge, else ``None``."""
+    if isinstance(payload, (tuple, list)) and len(payload) in (2, 3):
+        return payload[0], payload[1]
+    return None
+
+
+def profile_stream(app: Any, tuples: Iterable[Any]
+                   ) -> tuple[dict[Any, DemandVector],
+                              dict[tuple[Any, Any], float]]:
+    """Profiling pre-run over a stream prefix: route every tuple exactly
+    like the ingester will and derive per-vertex demand vectors plus the
+    pairwise affinity (expected traffic) between vertices.
+
+    Demand: CPU counts routed gathers (each delta is one gather at its
+    vertex), bandwidth counts edge fan-out (each out-edge is recurring
+    scatter traffic), memory is one state slot.  Affinity: one unit per
+    edge between its endpoints — the traffic a cut of that edge turns
+    into remote messages.  Programs may override the estimate per vertex
+    via :meth:`~repro.core.vertex.VertexProgram.resource_demand`.
+    """
+    gathers: dict[Any, int] = {}
+    fanout: dict[Any, int] = {}
+    affinity: dict[tuple[Any, Any], float] = {}
+    for tup in tuples:
+        routed = list(app.router.route(tup))
+        for vertex_id, delta in routed:
+            gathers[vertex_id] = gathers.get(vertex_id, 0) + 1
+            fanout.setdefault(vertex_id, 0)
+            endpoints = _edge_endpoints(delta.payload)
+            if endpoints is None:
+                continue
+            u, v = endpoints
+            gathers.setdefault(v, gathers.get(v, 0))
+            fanout[u] = fanout.get(u, 0) + 1
+            fanout.setdefault(v, 0)
+            key = (u, v) if str(u) <= str(v) else (v, u)
+            affinity[key] = affinity.get(key, 0.0) + abs(
+                float(getattr(tup, "weight", 1)) or 1.0)
+    demands: dict[Any, DemandVector] = {}
+    override = getattr(app.program, "resource_demand", None)
+    for vertex in gathers:
+        estimated = DemandVector(cpu=float(gathers[vertex]) or 1.0,
+                                 memory=1.0,
+                                 bandwidth=float(fanout.get(vertex, 0)))
+        declared = override(vertex, estimated) if override else None
+        demands[vertex] = declared if declared is not None else estimated
+    return demands, affinity
+
+
+def refine_affinity(affinity: Mapping[tuple[Any, Any], float],
+                    prior_owner: Any,
+                    link_scores: Mapping[tuple[str, str], float],
+                    boost: float = 4.0
+                    ) -> dict[tuple[Any, Any], float]:
+    """Critical-path feedback for a re-submitted job: scale up the
+    affinity of vertex pairs whose processor link dominated the previous
+    run's critical path (``link_scores`` from
+    :meth:`repro.obs.critical_path.CriticalPathReport.link_scores`), so
+    the next plan packs those endpoints together first.  ``prior_owner``
+    maps a vertex to the processor it ran on in the profiled run."""
+    refined: dict[tuple[Any, Any], float] = {}
+    for (u, v), weight in affinity.items():
+        pu, pv = prior_owner(u), prior_owner(v)
+        score = max(link_scores.get((pu, pv), 0.0),
+                    link_scores.get((pv, pu), 0.0))
+        refined[(u, v)] = weight * (1.0 + boost * score)
+    return refined
+
+
+# ----------------------------------------------------------------- plan
+@dataclass
+class PlacementPlan:
+    """The output of one packing run, ready to pin onto a partition."""
+
+    assignments: dict[Any, str]
+    cluster: ClusterModel
+    #: Distance-weighted affinity cut under :attr:`assignments`.
+    cut_cost: float
+    #: Same cut under the baseline (hash) layout, for the quality ratio.
+    baseline_cut_cost: float
+    #: Aggregate demand packed per processor.
+    utilization: dict[str, DemandVector] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        """Baseline cut / planned cut (≥ 1 when the plan helps)."""
+        if self.cut_cost <= 0:
+            return float("inf") if self.baseline_cut_cost > 0 else 1.0
+        return self.baseline_cut_cost / self.cut_cost
+
+    def pins(self) -> list[tuple[Any, str]]:
+        """Deterministically ordered ``(vertex, processor)`` pairs."""
+        return sorted(self.assignments.items(), key=lambda kv: str(kv[0]))
+
+    def apply(self, partition: Any) -> int:
+        """Pin the plan onto a :class:`~repro.core.partition.
+        PartitionScheme` (one epoch bump); returns the new epoch."""
+        return partition.reassign_batch(self.pins())
+
+
+class ResourceAwarePlacer:
+    """Greedy R-Storm packer: most demanding vertex first, each onto the
+    processor with the best affinity-minus-overload score."""
+
+    def __init__(self, cluster: ClusterModel,
+                 affinity_weight: float = 1.0,
+                 balance_weight: float = 1.0) -> None:
+        self.cluster = cluster
+        self.affinity_weight = affinity_weight
+        self.balance_weight = balance_weight
+
+    def plan(self, demands: Mapping[Any, DemandVector],
+             affinity: Mapping[tuple[Any, Any], float] | None = None,
+             baseline: Mapping[Any, str] | None = None) -> PlacementPlan:
+        affinity = dict(affinity or {})
+        neighbours: dict[Any, list[tuple[Any, float]]] = {}
+        for (u, v), weight in affinity.items():
+            neighbours.setdefault(u, []).append((v, weight))
+            neighbours.setdefault(v, []).append((u, weight))
+        total_demand = sum(d.magnitude() for d in demands.values())
+        targets = {name: max(total_demand
+                             * self.cluster.capacity_share(name), 1e-9)
+                   for name in self.cluster.processors}
+        used: dict[str, float] = {name: 0.0
+                                  for name in self.cluster.processors}
+        utilization: dict[str, DemandVector] = {
+            name: ZERO_DEMAND for name in self.cluster.processors}
+        assignments: dict[Any, str] = {}
+        order = sorted(demands,
+                       key=lambda v: (-demands[v].magnitude(), str(v)))
+        remote = self.cluster.remote_distance
+        for vertex in order:
+            demand = demands[vertex].magnitude()
+            best_name = None
+            best_score = None
+            for name in self.cluster.processors:
+                gain = 0.0
+                for other, weight in neighbours.get(vertex, ()):
+                    owner = assignments.get(other)
+                    if owner is None:
+                        continue
+                    gain += weight * (remote
+                                      - self.cluster.distance(name, owner))
+                overshoot = max(0.0, (used[name] + demand - targets[name])
+                                / targets[name])
+                slack = (targets[name] - used[name]) / targets[name]
+                score = (self.affinity_weight * gain
+                         + self.balance_weight * slack
+                         - OVERLOAD_WEIGHT * overshoot)
+                if best_score is None or score > best_score \
+                        or (score == best_score and name < best_name):
+                    best_score, best_name = score, name
+            assignments[vertex] = best_name
+            used[best_name] += demand
+            utilization[best_name] = utilization[best_name].plus(
+                demands[vertex])
+        cut = self._cut_cost(assignments, affinity)
+        baseline_cut = (self._cut_cost(baseline, affinity)
+                        if baseline is not None else cut)
+        return PlacementPlan(assignments=assignments,
+                             cluster=self.cluster,
+                             cut_cost=cut,
+                             baseline_cut_cost=baseline_cut,
+                             utilization=utilization)
+
+    def _cut_cost(self, assignments: Mapping[Any, str],
+                  affinity: Mapping[tuple[Any, Any], float]) -> float:
+        cost = 0.0
+        for (u, v), weight in affinity.items():
+            pu, pv = assignments.get(u), assignments.get(v)
+            if pu is None or pv is None:
+                continue
+            cost += weight * self.cluster.distance(pu, pv)
+        return cost
+
+
+def plan_for_stream(app: Any, config: TornadoConfig, partition: Any,
+                    tuples: Iterable[Any],
+                    link_scores: Mapping[tuple[str, str], float]
+                    | None = None) -> PlacementPlan:
+    """The job-side entry point: profile the stream prefix, build the
+    cluster model from the config, and pack — optionally refined by a
+    previous run's critical-path link scores (re-submission path)."""
+    demands, affinity = profile_stream(app, tuples)
+    if link_scores:
+        affinity = refine_affinity(affinity, partition.hash_home,
+                                   link_scores)
+    cluster = ClusterModel.from_config(config)
+    baseline = {vertex: partition.hash_home(vertex)
+                for vertex in demands}
+    placer = ResourceAwarePlacer(cluster)
+    return placer.plan(demands, affinity, baseline=baseline)

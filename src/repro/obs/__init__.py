@@ -8,25 +8,41 @@ the kernel, the network, the Storm layer and the Tornado runtime all
 publish into one sink.  Tracing is zero-cost when disabled and
 byte-for-byte deterministic when enabled: the same seed produces an
 identical trace, which makes the recorder double as a regression oracle.
+
+On top of the recorder sit the analyses: per-iteration protocol phase
+tables (:mod:`repro.obs.report`) and SnailTrail-style critical-path
+extraction (:mod:`repro.obs.critical_path`).
 """
 
+from repro.obs.critical_path import (CriticalPathReport, PathSegment,
+                                     WindowPath, extract_critical_path)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
-from repro.obs.report import (phase_counts, render_phase_table,
-                              render_tenant_digests, termination_timeline)
+from repro.obs.report import (merged_phase_counts, phase_counts,
+                              render_phase_table, render_tenant_digests,
+                              termination_timeline)
 from repro.obs.trace import (TraceEvent, TraceRecorder, merge_dumps,
-                             merge_named_dumps)
+                             merge_named_dumps, parse_dump,
+                             parse_dump_line, split_named_dump)
 
 __all__ = [
     "Counter",
+    "CriticalPathReport",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PathSegment",
     "TraceEvent",
     "TraceRecorder",
+    "WindowPath",
+    "extract_critical_path",
     "merge_dumps",
     "merge_named_dumps",
+    "merged_phase_counts",
+    "parse_dump",
+    "parse_dump_line",
     "phase_counts",
     "render_phase_table",
     "render_tenant_digests",
+    "split_named_dump",
     "termination_timeline",
 ]

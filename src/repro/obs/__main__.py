@@ -1,15 +1,25 @@
-"""Measure the flight recorder's overhead.
+"""Observability CLI: recorder overhead and critical-path analysis.
 
-Runs the same seeded SSSP workload twice — tracing off, then on — and
-reports wall-clock times, the event volume recorded and the trace digest.
-The "off" run is the number that matters for production: it should sit
-within noise of a build that predates the recorder, because every hot
-path guards its instrumentation behind one ``trace.enabled`` check.
+``python -m repro.obs`` (no subcommand) measures the flight recorder's
+overhead: the same seeded SSSP workload runs twice — tracing off, then
+on — and the wall-clock times, recorded event volume and trace digest
+are reported.  The "off" run is the number that matters for production:
+it should sit within noise of a build that predates the recorder,
+because every hot path guards its instrumentation behind one
+``trace.enabled`` check.
+
+``python -m repro.obs critical-path`` runs the workload once with link
+tracing on and prints the SnailTrail-style per-iteration critical path
+(:mod:`repro.obs.critical_path`): which protocol phases and processor
+links end-to-end latency actually waited on.
 
 Usage::
 
-    PYTHONPATH=src python -m repro.obs            # default small run
+    PYTHONPATH=src python -m repro.obs                  # overhead run
     PYTHONPATH=src python -m repro.obs --duration 2.0
+    PYTHONPATH=src python -m repro.obs critical-path [--loop main]
+                                                     [--windows N]
+                                                     [--json]
 """
 
 from __future__ import annotations
@@ -18,9 +28,21 @@ import sys
 import time
 
 
-def _run_once(trace_enabled: bool, duration: float) -> tuple[float, object]:
+def _parse_flag(argv: list[str], flag: str, cast, default):
+    if flag not in argv:
+        return default
+    try:
+        return cast(argv[argv.index(flag) + 1])
+    except (IndexError, ValueError):
+        print(f"error: {flag} requires a value", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _run_once(trace_enabled: bool, duration: float,
+              trace_links: bool = False) -> tuple[float, object]:
     from repro.bench.workloads import SMALL, sssp_bundle
-    bundle = sssp_bundle(SMALL, trace_enabled=trace_enabled)
+    bundle = sssp_bundle(SMALL, trace_enabled=trace_enabled,
+                         trace_links=trace_links)
     bundle.feed_all()
     started = time.perf_counter()
     bundle.job.run_for(duration)
@@ -28,15 +50,8 @@ def _run_once(trace_enabled: bool, duration: float) -> tuple[float, object]:
     return elapsed, bundle.job
 
 
-def main(argv: list[str]) -> int:
-    duration = 1.0
-    if "--duration" in argv:
-        try:
-            duration = float(argv[argv.index("--duration") + 1])
-        except (IndexError, ValueError):
-            print("error: --duration requires a number of virtual seconds",
-                  file=sys.stderr)
-            return 2
+def _overhead(argv: list[str]) -> int:
+    duration = _parse_flag(argv, "--duration", float, 1.0)
     if duration <= 0.0:
         print("error: --duration must be positive", file=sys.stderr)
         return 2
@@ -53,6 +68,32 @@ def main(argv: list[str]) -> int:
     print("metrics snapshot:")
     print(job.metrics.render())
     return 0
+
+
+def _critical_path(argv: list[str]) -> int:
+    from repro.obs.critical_path import extract_critical_path
+    duration = _parse_flag(argv, "--duration", float, 1.0)
+    loop = _parse_flag(argv, "--loop", str, "main")
+    windows = _parse_flag(argv, "--windows", int, None)
+    if duration <= 0.0:
+        print("error: --duration must be positive", file=sys.stderr)
+        return 2
+    _, job = _run_once(True, duration, trace_links=True)
+    report = extract_critical_path(job.trace, loop=loop,
+                                   max_windows=windows)
+    if "--json" in argv:
+        print(report.to_json())
+    else:
+        print(f"workload: sssp/SMALL, {duration:.2f} virtual seconds, "
+              f"{job.trace.recorded} events")
+        print(report.render())
+    return 0 if report.windows else 1
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] == "critical-path":
+        return _critical_path(argv[1:])
+    return _overhead(argv)
 
 
 if __name__ == "__main__":

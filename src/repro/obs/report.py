@@ -10,34 +10,73 @@ during an outage — without any external counter.
 
 from __future__ import annotations
 
-from repro.obs.trace import TraceRecorder
+from typing import Iterable
+
+from repro.obs.trace import (TraceEvent, TraceRecorder, parse_dump,
+                             split_named_dump)
 
 PHASES = ("update", "prepare", "ack", "commit")
 
 
-def phase_counts(recorder: TraceRecorder, loop: str | None = None
+def phase_counts(recorder: TraceRecorder | Iterable[TraceEvent],
+                 loop: str | None = None
                  ) -> dict[tuple[str, int], dict[str, int]]:
     """Protocol-phase event counts keyed by ``(loop, iteration)``.
+
+    Accepts a live :class:`TraceRecorder` or any iterable of
+    :class:`TraceEvent` (e.g. one tenant's slice of a merged dump, via
+    :func:`merged_phase_counts`).  Loop names are only unique *within*
+    one recorder's stream — counting a merged multi-tenant dump directly
+    would fold every tenant's ``main`` loop into one row, so merged
+    dumps must be split per tenant first (:func:`merged_phase_counts`
+    does exactly that).
 
     Only events still retained by the ring are counted; under sustained
     load the table therefore describes the *recent* window, which is what
     a flight recorder is for.
     """
+    if isinstance(recorder, TraceRecorder):
+        events: Iterable[TraceEvent] = recorder.select(category="protocol")
+    else:
+        events = recorder
     table: dict[tuple[str, int], dict[str, int]] = {}
-    for event in recorder.select(category="protocol"):
-        if event.name not in PHASES:
+    for event in events:
+        if event.category != "protocol" or event.name not in PHASES:
             continue
         event_loop = event.field("loop")
+        if event_loop is not None:
+            event_loop = str(event_loop)
         if loop is not None and event_loop != loop:
             continue
         iteration = event.field("iteration")
         if event_loop is None or iteration is None:
             continue
-        key = (str(event_loop), int(iteration))
+        key = (event_loop, int(iteration))
         row = table.get(key)
         if row is None:
             row = table[key] = {phase: 0 for phase in PHASES}
         row[event.name] += 1
+    return dict(sorted(table.items()))
+
+
+def merged_phase_counts(merged_dump: str, tenant: str | None = None,
+                        loop: str | None = None
+                        ) -> dict[tuple[str, str, int], dict[str, int]]:
+    """Protocol-phase counts over a merged multi-tenant dump
+    (:func:`repro.obs.trace.merge_named_dumps`), keyed by
+    ``(tenant, loop, iteration)``.
+
+    The tenant prefix partitions the lines *before* the loop filter is
+    applied, so the two filters compose: ``loop="main"`` counts each
+    tenant's own main loop separately instead of bleeding all tenants'
+    phases into one row.
+    """
+    table: dict[tuple[str, str, int], dict[str, int]] = {}
+    for name, dump in split_named_dump(merged_dump).items():
+        if tenant is not None and name != tenant:
+            continue
+        for key, row in phase_counts(parse_dump(dump), loop=loop).items():
+            table[(name,) + key] = row
     return dict(sorted(table.items()))
 
 

@@ -189,7 +189,12 @@ class TraceRecorder:
             {"ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
              "args": {"name": actor}}
             for actor, tid in sorted(tids.items(), key=lambda kv: kv[1])]
-        for event in self._ring:
+        # Ring order is record order, which the live backend's
+        # Lamport-derived clock does not keep monotone; tracing UIs
+        # require non-decreasing timestamps, so sort explicitly (seq
+        # breaks ties deterministically).
+        for event in sorted(self._ring,
+                            key=lambda event: (event.time, event.seq)):
             out.append({
                 "ph": "i",
                 "s": "t",
@@ -212,6 +217,50 @@ class TraceRecorder:
     def write_chrome_trace(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.chrome_trace_json())
+
+
+def parse_dump_line(line: str) -> TraceEvent:
+    """Parse one canonical dump line (see :meth:`TraceEvent.line`) back
+    into a :class:`TraceEvent`.  Field values come back as strings —
+    coerce at the use site (``int(event.field("iteration"))``).  Only
+    round-trips values whose text form contains no spaces, which holds
+    for every event the runtime records."""
+    parts = line.split(" ")
+    if len(parts) < 4 or "." not in parts[2]:
+        raise ValueError(f"not a trace dump line: {line!r}")
+    category, name = parts[2].split(".", 1)
+    fields = []
+    for part in parts[4:]:
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(f"malformed field {part!r} in {line!r}")
+        fields.append((key, value))
+    return TraceEvent(time=float(parts[1]), seq=int(parts[0]),
+                      category=category, name=name,
+                      actor="" if parts[3] == "-" else parts[3],
+                      fields=tuple(fields))
+
+
+def parse_dump(dump: str) -> list[TraceEvent]:
+    """Parse a full :meth:`TraceRecorder.dump` blob."""
+    return [parse_dump_line(line) for line in dump.split("\n") if line]
+
+
+def split_named_dump(merged: str) -> dict[str, str]:
+    """Invert :func:`merge_named_dumps`: split a merged multi-tenant
+    dump back into per-tenant dump blobs keyed by stream name.  Each
+    returned blob is byte-identical to the tenant's own
+    :meth:`TraceRecorder.dump`, so per-tenant digests survive the round
+    trip."""
+    sections: dict[str, list[str]] = {}
+    for line in merged.split("\n"):
+        if not line:
+            continue
+        name, sep, rest = line.partition("|")
+        if not sep:
+            raise ValueError(f"line without stream prefix: {line!r}")
+        sections.setdefault(name, []).append(rest)
+    return {name: "\n".join(lines) for name, lines in sections.items()}
 
 
 def merge_dumps(recorders: Iterable[TraceRecorder]) -> str:

@@ -109,6 +109,11 @@ class Network:
         #: byte accounting (left unset, bytes stay 0: sizing arbitrary
         #: payloads is workload knowledge the fabric does not have).
         self.size_of: Any = None
+        #: Record one ``net.send`` event (with delivery eta) per message
+        #: while tracing — the communication edges the critical-path
+        #: extractor walks.  Off by default: link events change the
+        #: trace digest (see ``TornadoConfig.trace_links``).
+        self.trace_links = False
 
     def _link(self, src: str, dst: str) -> LinkStats:
         link = self.link_stats.get((src, dst))
@@ -208,6 +213,9 @@ class Network:
                 delay += depart - now
         if not math.isfinite(delay):
             delay = self.latency
+        if self.trace_links and self.sim.trace.enabled:
+            self.sim.trace.record(now, "net", "send", actor=src, dst=dst,
+                                  eta=now + delay)
         # Delivery events are never cancelled, so a same-instant burst on
         # the fast path coalesces into one heap entry (the kernel expands
         # it in send order; capacity above was still charged per message).

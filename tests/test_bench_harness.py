@@ -1,7 +1,10 @@
 """Unit tests for the experiment harness utilities."""
 
+import json
+
 from repro.bench.harness import (ExperimentResult, ShapeCheck, flattens,
-                                 monotone_decreasing, percentile)
+                                 merge_bench_json, monotone_decreasing,
+                                 percentile)
 
 
 class TestExperimentResult:
@@ -78,4 +81,48 @@ class TestQuickExperiments:
         assert "live" in experiments
         assert "scale" in experiments
         assert "tenants" in experiments
-        assert len(experiments) == 24
+        assert "placement" in experiments
+        assert len(experiments) == 25
+
+
+class TestMergeBenchJson:
+    """All bench writers share one merge helper: writing any one section
+    must preserve every other section already committed."""
+
+    def test_section_write_preserves_siblings(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        merge_bench_json(path, {"scale": {"speedup": 7.0}})
+        merge_bench_json(path, {"placement": {"speedup": 2.2}})
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["scale"] == {"speedup": 7.0}
+        assert data["placement"] == {"speedup": 2.2}
+
+    def test_replace_base_keeps_known_sections(self, tmp_path):
+        """The perf bench owns the top level; replacing it must carry
+        over the sibling sections but drop stale top-level keys."""
+        path = str(tmp_path / "bench.json")
+        merge_bench_json(path, {"stale_key": 1, "delta": {"v": 1},
+                                "placement": {"v": 2}})
+        payload = merge_bench_json(path, {"fresh_key": 3},
+                                   replace_base=True)
+        assert payload["fresh_key"] == 3
+        assert payload["delta"] == {"v": 1}
+        assert payload["placement"] == {"v": 2}
+        assert "stale_key" not in payload
+
+    def test_missing_or_corrupt_file_starts_clean(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        payload = merge_bench_json(path, {"live": {"v": 1}})
+        assert payload == {"live": {"v": 1}}
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        payload = merge_bench_json(path, {"live": {"v": 2}})
+        assert payload == {"live": {"v": 2}}
+
+    def test_output_is_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        merge_bench_json(a, {"scale": {"x": 1}, "delta": {"y": 2}})
+        merge_bench_json(b, {"delta": {"y": 2}, "scale": {"x": 1}})
+        assert (open(a, encoding="utf-8").read()
+                == open(b, encoding="utf-8").read())

@@ -4,10 +4,13 @@ and the rebalancer crash-interaction bug fixes."""
 
 import math
 
+import pytest
+
 from repro.algorithms.graph_common import EdgeStreamRouter
 from repro.algorithms.sssp import SSSPProgram, reference_sssp
 from repro.core import Application, TornadoConfig, TornadoJob
 from repro.core.messages import ProcessorRecovered
+from repro.core.migration import MigrationPlanner
 from repro.streams import UniformRate, edge_stream
 
 EDGES = [(0, i) for i in range(1, 30)] + [(i, i + 1) for i in range(1, 29)]
@@ -221,3 +224,84 @@ class TestPauseModeBugfixes:
         # ResumeIngest went out regardless.
         job.run_for(0.1)
         assert not job.ingester.paused
+
+
+class TestPlannerBugfixes:
+    """Busy-counter regression handling and critical-path feedback in
+    the planner cost model."""
+
+    def planner(self, **config_kwargs):
+        config_kwargs.setdefault("n_processors", 3)
+        config_kwargs.setdefault("rebalance_factor", 1.5)
+        config_kwargs.setdefault("rebalance_min_gap", 0.001)
+        return MigrationPlanner(TornadoConfig(**config_kwargs))
+
+    def test_counter_regression_does_not_drag_rate_down(self):
+        """A post-recovery busy counter restarts below its last value;
+        the old bug folded that window as a clamped 0 into the EWMA,
+        masking a genuinely hot processor."""
+        planner = self.planner()
+        planner.observe("proc-0", 1.0, 10.0)
+        planner.observe("proc-0", 2.0, 11.0)
+        assert planner.rates()["proc-0"] == 1.0
+        # Crash + recovery: counter restarted from (almost) zero.
+        planner.observe("proc-0", 0.05, 12.0)
+        assert planner.rates()["proc-0"] == 1.0  # window skipped
+
+    def test_counter_regression_reseeds_baseline(self):
+        """The regressed report becomes the new baseline, so the *next*
+        window measures real post-recovery load."""
+        planner = self.planner()
+        planner.observe("proc-0", 1.0, 10.0)
+        planner.observe("proc-0", 2.0, 11.0)
+        planner.observe("proc-0", 0.05, 12.0)  # regression, re-seed
+        planner.observe("proc-0", 0.30, 13.0)  # real window: 0.25
+        expected = 0.3 * 0.25 + 0.7 * 1.0
+        assert planner.rates()["proc-0"] == pytest.approx(expected)
+
+    def test_planner_scores_stable_across_kill_recover(self):
+        """End to end: killing and recovering a hot processor must not
+        leave the planner believing it went cold."""
+        job = make_job()
+        job.feed(edge_stream(EDGES, UniformRate(rate=300.0)))
+        job.run_until(lambda: "proc-0" in job.master.planner._busy_rate,
+                      max_events=20_000_000)
+        job.failures.kill_now("proc-0", recover_after=0.3)
+        job.run_for(0.35)
+        # The restarted counter re-seeds cleanly: once fresh reports
+        # arrive the rate reflects only post-recovery windows, never a
+        # clamped-0 window from the counter restart.
+        job.run_until(lambda: "proc-0" in job.master.planner._busy_rate,
+                      max_events=20_000_000)
+        assert 0.0 <= job.master.planner._busy_rate["proc-0"] <= 1.0
+
+    def test_criticality_weight_biases_plan_ordering(self):
+        """With two equally-busy processors, critical-path feedback
+        decides which one sheds load first."""
+        def loaded_planner(weight):
+            planner = self.planner(migration_criticality_weight=weight,
+                                   migration_max_batch=1)
+            for name, rate in (("proc-0", 0.8), ("proc-1", 0.8),
+                               ("proc-2", 0.1)):
+                planner.observe(name, 0.0, 0.0)
+                planner.observe(name, rate, 1.0)
+            planner._vertex_load = {"proc-0": {0: 1, 2: 1, 4: 1, 6: 1},
+                                    "proc-1": {1: 1, 3: 1, 5: 1, 7: 1}}
+            planner.set_criticality({"proc-1": 0.9})
+            return planner
+
+        owner = {0: "proc-0", 2: "proc-0", 4: "proc-0", 6: "proc-0",
+                 1: "proc-1", 3: "proc-1", 5: "proc-1",
+                 7: "proc-1"}.__getitem__
+        procs = ["proc-0", "proc-1", "proc-2"]
+        # Weight off: deterministic tie-break picks proc-0's vertex.
+        moves = loaded_planner(0.0).plan(procs, owner)
+        assert moves and moves[0][1] == "proc-0"
+        # Weight on: the critical-path processor sheds load first.
+        moves = loaded_planner(1.0).plan(procs, owner)
+        assert moves and moves[0][1] == "proc-1"
+
+    def test_master_applies_criticality_to_planner(self):
+        job = make_job(migration_criticality_weight=0.5)
+        job.master.apply_criticality({"proc-0": 0.7})
+        assert job.master.planner._criticality == {"proc-0": 0.7}

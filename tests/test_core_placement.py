@@ -1,0 +1,232 @@
+"""Unit and integration tests for resource-aware placement (R-Storm
+style): demand estimation, the greedy packer, job wiring and the
+round-robin digest oracle."""
+
+import pytest
+
+from repro.algorithms.graph_common import EdgeStreamRouter
+from repro.algorithms.sssp import SSSPProgram
+from repro.core import Application, TornadoConfig, TornadoJob
+from repro.core.placement import (ClusterModel, DemandVector,
+                                  PlacementPlan, ResourceAwarePlacer,
+                                  estimate_demands, plan_for_stream,
+                                  profile_stream, refine_affinity)
+from repro.streams import UniformRate, edge_stream
+
+EDGES = ([(0, i) for i in range(1, 9)]
+         + [(10, 10 + i) for i in range(1, 9)]
+         + [(0, 10)])
+
+
+def make_app():
+    return Application(SSSPProgram(0), EdgeStreamRouter(), name="sssp")
+
+
+def stream():
+    return edge_stream(EDGES, UniformRate(rate=1000.0))
+
+
+class TestDemandVector:
+    def test_magnitude_is_l1(self):
+        assert DemandVector(1.0, 2.0, 3.0).magnitude() == 6.0
+
+    def test_plus_and_scaled(self):
+        total = DemandVector(1, 1, 1).plus(DemandVector(2, 0, 1))
+        assert total.as_tuple() == (3, 1, 2)
+        assert DemandVector(1, 2, 4).scaled(0.5).as_tuple() == (0.5, 1, 2)
+
+
+class TestClusterModel:
+    def test_from_config_matches_job_layout(self):
+        config = TornadoConfig(n_processors=4, n_nodes=2)
+        cluster = ClusterModel.from_config(config)
+        assert cluster.processors == ["proc-0", "proc-1", "proc-2",
+                                      "proc-3"]
+        # Same node{i % n_nodes} mapping TornadoJob uses to colocate.
+        assert cluster.node_of == {"proc-0": "node0", "proc-1": "node1",
+                                   "proc-2": "node0", "proc-3": "node1"}
+
+    def test_distances_order(self):
+        cluster = ClusterModel.from_config(
+            TornadoConfig(n_processors=4, n_nodes=2))
+        same = cluster.distance("proc-0", "proc-0")
+        local = cluster.distance("proc-0", "proc-2")
+        remote = cluster.distance("proc-0", "proc-1")
+        assert same == 0.0
+        assert same < local < remote
+
+    def test_capacity_cycles_over_nodes(self):
+        config = TornadoConfig(n_processors=4, n_nodes=2,
+                               placement_node_capacity=(2.0, 1.0))
+        cluster = ClusterModel.from_config(config)
+        # node0 processors are twice as capacious as node1's.
+        assert cluster.capacity_share("proc-0") == pytest.approx(2 / 6)
+        assert cluster.capacity_share("proc-1") == pytest.approx(1 / 6)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TornadoConfig(placement="sticky")
+        with pytest.raises(ValueError):
+            TornadoConfig(placement_node_capacity=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            TornadoConfig(migration_criticality_weight=-1.0)
+
+
+class TestDemandEstimation:
+    def test_estimate_demands_follows_degree(self):
+        demands = estimate_demands([(0, 1), (0, 2), (1, 2)])
+        assert demands[0].bandwidth == 2.0  # out-degree
+        assert demands[2].cpu == 1.0 + 2.0  # in-degree
+        assert all(d.memory == 1.0 for d in demands.values())
+
+    def test_profile_stream_routes_like_ingester(self):
+        demands, affinity = profile_stream(make_app(), stream())
+        # Hubs 0 and 10 fan out to 9 edges each.
+        assert demands[0].magnitude() > demands[1].magnitude()
+        assert affinity[(0, 1)] == 1.0
+        # Affinity keys are orientation-normalised.
+        assert all(str(u) <= str(v) for u, v in affinity)
+
+    def test_refine_affinity_boosts_critical_link_pairs(self):
+        affinity = {(0, 1): 1.0, (2, 3): 1.0}
+        owner = {0: "proc-0", 1: "proc-1", 2: "proc-2",
+                 3: "proc-2"}.__getitem__
+        refined = refine_affinity(affinity, owner,
+                                  {("proc-0", "proc-1"): 0.5}, boost=4.0)
+        assert refined[(0, 1)] == pytest.approx(3.0)
+        assert refined[(2, 3)] == 1.0  # off the critical path: unchanged
+
+
+class TestResourceAwarePlacer:
+    def cluster(self, **kwargs):
+        return ClusterModel.from_config(
+            TornadoConfig(n_processors=4, n_nodes=2, **kwargs))
+
+    def test_affinity_packs_neighbours_together(self):
+        demands, affinity = profile_stream(make_app(), stream())
+        # Affinity-dominated placer: each hub community should collapse
+        # onto a single processor (balance would otherwise spread them).
+        cluster = self.cluster()
+        placer = ResourceAwarePlacer(cluster, affinity_weight=50.0,
+                                     balance_weight=0.1)
+        plan = placer.plan(demands, affinity)
+        community_a = {cluster.node_of[plan.assignments[v]]
+                       for v in range(0, 9)}
+        community_b = {cluster.node_of[plan.assignments[v]]
+                       for v in range(10, 19)}
+        assert len(community_a) == 1
+        assert len(community_b) == 1
+
+    def test_balance_spreads_unrelated_vertices(self):
+        demands = {v: DemandVector() for v in range(16)}
+        plan = ResourceAwarePlacer(self.cluster()).plan(demands, {})
+        used = [plan.utilization[p].magnitude()
+                for p in self.cluster().processors]
+        assert max(used) == min(used)  # uniform demand, uniform spread
+
+    def test_capacity_skews_toward_big_nodes(self):
+        demands = {v: DemandVector() for v in range(12)}
+        cluster = self.cluster(placement_node_capacity=(2.0, 1.0))
+        plan = ResourceAwarePlacer(cluster).plan(demands, {})
+        big = (plan.utilization["proc-0"].magnitude()
+               + plan.utilization["proc-2"].magnitude())
+        small = (plan.utilization["proc-1"].magnitude()
+                 + plan.utilization["proc-3"].magnitude())
+        assert big > small
+
+    def test_plan_is_deterministic(self):
+        demands, affinity = profile_stream(make_app(), stream())
+        placer = ResourceAwarePlacer(self.cluster())
+        assert (placer.plan(demands, affinity).assignments
+                == placer.plan(demands, affinity).assignments)
+
+    def test_cut_cost_beats_hash_baseline(self):
+        demands, affinity = profile_stream(make_app(), stream())
+        job = TornadoJob(make_app(),
+                         TornadoConfig(n_processors=4, n_nodes=2))
+        baseline = {v: job.partition.hash_home(v) for v in demands}
+        plan = ResourceAwarePlacer(self.cluster(), affinity_weight=50.0,
+                                   balance_weight=0.1).plan(
+            demands, affinity, baseline=baseline)
+        assert plan.cut_cost < plan.baseline_cut_cost
+        assert plan.improvement > 1.0
+
+    def test_apply_pins_partition_with_one_epoch_bump(self):
+        job = TornadoJob(make_app(),
+                         TornadoConfig(n_processors=4, n_nodes=2))
+        demands, affinity = profile_stream(make_app(), stream())
+        plan = ResourceAwarePlacer(self.cluster()).plan(demands, affinity)
+        before = job.partition.epoch
+        plan.apply(job.partition)
+        assert job.partition.epoch == before + 1
+        for vertex, processor in plan.assignments.items():
+            assert job.partition.owner(vertex) == processor
+
+
+class TestJobWiring:
+    def config(self, **kwargs):
+        kwargs.setdefault("n_processors", 4)
+        kwargs.setdefault("n_nodes", 2)
+        kwargs.setdefault("storage_backend", "memory")
+        return TornadoConfig(**kwargs)
+
+    def test_round_robin_leaves_partition_untouched(self):
+        job = TornadoJob(make_app(), self.config())
+        job.feed(stream())
+        assert job.placement_plan is None
+        assert job.partition._overrides == {}
+
+    def test_resource_aware_plans_on_first_feed(self):
+        job = TornadoJob(make_app(),
+                         self.config(placement="resource_aware"))
+        job.feed(stream())
+        assert isinstance(job.placement_plan, PlacementPlan)
+        assert job.partition.epoch == 1
+        # Second feed must not re-plan (the layout is already pinned).
+        job.feed(stream())
+        assert job.partition.epoch == 1
+
+    def test_round_robin_digest_identical_to_default(self):
+        def run(**kwargs):
+            job = TornadoJob(make_app(),
+                             self.config(trace_enabled=True, **kwargs))
+            job.feed(stream())
+            job.run_for(1.0)
+            return job.trace.digest()
+
+        assert run() == run(placement="round_robin")
+
+    def test_resource_aware_converges_to_same_values(self):
+        def run(**kwargs):
+            job = TornadoJob(make_app(), self.config(**kwargs))
+            job.feed(stream())
+            job.run_until(job.quiescent, max_events=20_000_000)
+            return {v: s.distance for v, s in job.main_values().items()}
+
+        assert run() == run(placement="resource_aware")
+
+    def test_set_link_scores_before_feed_only(self):
+        job = TornadoJob(make_app(),
+                         self.config(placement="resource_aware"))
+        job.feed(stream())
+        with pytest.raises(ValueError):
+            job.set_link_scores({("proc-0", "proc-1"): 0.5})
+
+    def test_link_scores_refine_resubmission(self):
+        scores = {("proc-0", "proc-1"): 0.9}
+        job = TornadoJob(make_app(),
+                         self.config(placement="resource_aware"))
+        job.set_link_scores(scores)
+        job.feed(stream())
+        plan = job.placement_plan
+        assert plan is not None
+        # Refinement only reweights affinity; the plan still improves on
+        # the hash layout.
+        assert plan.cut_cost <= plan.baseline_cut_cost
+
+    def test_plan_for_stream_entry_point(self):
+        job = TornadoJob(make_app(),
+                         self.config(placement="resource_aware"))
+        plan = plan_for_stream(make_app(), job.config, job.partition,
+                               list(stream()))
+        assert set(plan.assignments) == {v for e in EDGES for v in e}

@@ -4,8 +4,11 @@ import json
 
 import pytest
 
-from repro.obs import (MetricsRegistry, TraceRecorder, phase_counts,
-                       render_phase_table, termination_timeline)
+from repro.obs import (MetricsRegistry, TraceRecorder,
+                       merged_phase_counts, parse_dump, parse_dump_line,
+                       phase_counts, render_phase_table, split_named_dump,
+                       termination_timeline)
+from repro.obs.trace import merge_named_dumps
 
 
 class TestTraceRecorder:
@@ -157,3 +160,110 @@ class TestReport:
     def test_termination_timeline(self):
         timeline = termination_timeline(self.make_recorder())
         assert timeline == [("main", 0, 0.6)]
+
+
+class TestDumpParsing:
+    """Round trips for the dump grammar and the merged-dump splitter."""
+
+    def test_parse_dump_line_round_trip(self):
+        recorder = TraceRecorder()
+        recorder.record(1.25, "net", "send", actor="proc-0",
+                        dst="proc-1", eta=1.5)
+        line = recorder.dump()
+        event = parse_dump_line(line)
+        assert (event.seq, event.time) == (0, 1.25)
+        assert (event.category, event.name) == ("net", "send")
+        assert event.actor == "proc-0"
+        assert event.field("dst") == "proc-1"
+        assert event.line() == line  # byte-identical re-render
+
+    def test_parse_dump_line_empty_actor(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, "sim", "start")
+        event = parse_dump_line(recorder.dump())
+        assert event.actor == ""
+
+    def test_parse_dump_line_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_dump_line("not a trace line")
+
+    def test_parse_dump_round_trip_preserves_digest(self):
+        recorder = TraceRecorder()
+        for index in range(5):
+            recorder.record(float(index), "protocol", "update",
+                            actor=f"p{index % 2}", loop="main",
+                            iteration=index)
+        replayed = parse_dump(recorder.dump())
+        assert "\n".join(e.line() for e in replayed) == recorder.dump()
+
+    def test_split_named_dump_inverts_merge(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        a.record(0.1, "net", "send", actor="x")
+        b.record(0.2, "net", "send", actor="y")
+        b.record(0.3, "net", "recv", actor="y")
+        merged = merge_named_dumps({"tenant-a": a, "tenant-b": b})
+        sections = split_named_dump(merged)
+        assert sections == {"tenant-a": a.dump(), "tenant-b": b.dump()}
+
+    def test_split_named_dump_rejects_unprefixed_lines(self):
+        with pytest.raises(ValueError):
+            split_named_dump("0 0.1 net.send x")
+
+
+class TestChromeTraceOrdering:
+    def test_events_sorted_by_timestamp(self):
+        """The live backend's Lamport-adjusted clocks can record events
+        out of order; tracing UIs require non-decreasing ts."""
+        recorder = TraceRecorder()
+        recorder.record(0.5, "protocol", "commit", actor="p0")
+        recorder.record(0.2, "protocol", "update", actor="p1")
+        recorder.record(0.5, "protocol", "ack", actor="p0")
+        ts = [event["ts"] for event in recorder.to_chrome_trace()
+              if event["ph"] == "i"]
+        assert ts == sorted(ts)
+
+    def test_equal_times_keep_seq_order(self):
+        recorder = TraceRecorder()
+        recorder.record(0.5, "protocol", "commit", actor="p0")
+        recorder.record(0.2, "protocol", "update", actor="p1")
+        recorder.record(0.5, "protocol", "ack", actor="p0")
+        names = [event["name"] for event in recorder.to_chrome_trace()
+                 if event["ph"] == "i"]
+        assert names == ["protocol.update", "protocol.commit",
+                         "protocol.ack"]
+
+
+class TestMergedPhaseCounts:
+    def make_merged(self):
+        streams = {}
+        for name, offset in (("tenant-a", 0), ("tenant-b", 10)):
+            recorder = TraceRecorder()
+            recorder.record(0.1, "protocol", "update", actor="p0",
+                            loop="main", iteration=offset)
+            recorder.record(0.2, "protocol", "commit", actor="p0",
+                            loop="main", iteration=offset)
+            recorder.record(0.3, "protocol", "update", actor="p0",
+                            loop="branch-1", iteration=offset + 1)
+            streams[name] = recorder
+        return merge_named_dumps(streams)
+
+    def test_no_cross_tenant_bleed(self):
+        """Both tenants run a loop named ``main``; their phase rows must
+        stay separate in the merged view."""
+        table = merged_phase_counts(self.make_merged())
+        assert table[("tenant-a", "main", 0)]["update"] == 1
+        assert table[("tenant-b", "main", 10)]["update"] == 1
+        # No row ever aggregates across tenants.
+        assert all(key[0] in ("tenant-a", "tenant-b") for key in table)
+
+    def test_loop_filter_composes_with_tenant_prefix(self):
+        table = merged_phase_counts(self.make_merged(), loop="main")
+        assert set(table) == {("tenant-a", "main", 0),
+                              ("tenant-b", "main", 10)}
+        # Each tenant's main-loop row counts only its own events.
+        assert table[("tenant-a", "main", 0)]["commit"] == 1
+
+    def test_tenant_filter(self):
+        table = merged_phase_counts(self.make_merged(), tenant="tenant-b")
+        assert set(table) == {("tenant-b", "main", 10),
+                              ("tenant-b", "branch-1", 11)}
