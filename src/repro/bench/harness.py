@@ -17,7 +17,8 @@ import numpy as np
 
 #: Top-level sections of ``BENCH_perf.json`` owned by sibling bench
 #: writers (the perf bench owns everything else at the top level).
-BENCH_SECTIONS = ("delta", "live", "placement", "scale", "tenants")
+BENCH_SECTIONS = ("delta", "live", "placement", "scale", "tenants",
+                  "wire")
 
 
 def merge_bench_json(json_path: str, updates: dict[str, Any],
@@ -32,6 +33,12 @@ def merge_bench_json(json_path: str, updates: dict[str, Any],
     top level) rebuilds the payload from ``updates`` and carries over
     only the known sibling sections (:data:`BENCH_SECTIONS`) from the
     previous file.  A missing or unparsable file merges as empty.
+
+    The written file always carries a *neutral* root: ``"bench":
+    "merged"`` with per-writer provenance under ``"sections"`` (the perf
+    writer's root-level ``bench`` id moves to ``sections["perf"]``, each
+    known section's own ``bench`` id is indexed by its section name) —
+    the merged artifact never masquerades as one writer's report.
     Returns the merged payload as written.
     """
     try:
@@ -39,6 +46,9 @@ def merge_bench_json(json_path: str, updates: dict[str, Any],
             previous = json.load(handle)
     except (OSError, json.JSONDecodeError):
         previous = {}
+    prev_sections = previous.get("sections")
+    sections = dict(prev_sections) if isinstance(prev_sections, dict) \
+        else {}
     if replace_base:
         payload = dict(updates)
         for section in BENCH_SECTIONS:
@@ -47,6 +57,17 @@ def merge_bench_json(json_path: str, updates: dict[str, Any],
     else:
         payload = dict(previous)
         payload.update(updates)
+    payload.pop("sections", None)
+    root_bench = payload.pop("bench", None)
+    if root_bench and root_bench != "merged":
+        sections["perf"] = root_bench
+    for name in BENCH_SECTIONS:
+        entry = payload.get(name)
+        if isinstance(entry, dict) and entry.get("bench"):
+            sections[name] = entry["bench"]
+    payload["bench"] = "merged"
+    if sections:
+        payload["sections"] = sections
     with open(json_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

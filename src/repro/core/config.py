@@ -102,6 +102,21 @@ class TornadoConfig:
     #: ``fast_path``/``delta_path``).
     columnar: bool = False
 
+    #: Columnar *wire* regime: at session-window flush, same-``(loop,
+    #: destination)`` scatters whose program declares a
+    #: :class:`~repro.core.dsl.VectorSpec` are packed into typed column
+    #: runs (producers, consumers, iterations, values) inside one
+    #: :class:`~repro.core.messages.ColumnBatch` frame instead of a list
+    #: of per-vertex ``VertexUpdate`` objects; the receiver gathers the
+    #: rows through a batched fast path.  Scalar fallback covers
+    #: unconvertible values, mid-window owner flips and non-vector
+    #: programs.  Requires ``delta_path`` (the pack happens at window
+    #: flush).  ``False`` (the default) ships per-vertex objects byte for
+    #: byte — same seed, byte-identical flight-recorder digests either
+    #: way, sim and live (fifth A/B gate, same precedent as
+    #: ``fast_path``/``delta_path``/``columnar``/``placement``).
+    columnar_wire: bool = False
+
     # ------------------------------------------------------ iteration model
     #: Delay bound B (paper §4.4).  1 = synchronous; large = asynchronous.
     delay_bound: int = 65536
@@ -230,6 +245,10 @@ class TornadoConfig:
             raise ValueError("delay_bound must be >= 1")
         if self.storage_backend not in ("disk", "memory"):
             raise ValueError(f"unknown backend: {self.storage_backend!r}")
+        if self.columnar_wire and not self.delta_path:
+            raise ValueError(
+                "columnar_wire requires delta_path (column packing "
+                "happens at session-window flush)")
         if self.store_rebase_interval < 1:
             raise ValueError("store_rebase_interval must be >= 1")
         if self.store_snapshot_cache_size < 1:

@@ -59,6 +59,50 @@ class SessionBatch:
 
 
 @dataclass(frozen=True, slots=True)
+class ColumnBatch:
+    """Columnar wire frame (``TornadoConfig.columnar_wire``): one loop's
+    session traffic for one destination processor with the vector-packable
+    updates shipped as typed column runs instead of per-vertex
+    :class:`VertexUpdate` objects.
+
+    ``segments`` preserves the original send order exactly.  Each segment
+    is either
+
+    * a plain 4-tuple of parallel columns ``(producers, consumers,
+      iterations, values)`` — one *run* of consecutive packable updates
+      (all columns are plain tuples; the frame stays numpy-free so the
+      wire vocabulary pickles without the columnar dependency), or
+    * a scalar protocol message (:class:`Prepare`, :class:`Acknowledge`,
+      or a fallback :class:`VertexUpdate` whose value did not match the
+      program's declared wire dtype), left at its original position.
+
+    Receivers discriminate with ``type(segment) is tuple`` (the scalar
+    messages are dataclasses) and must produce effects byte-identical to
+    dispatching the equivalent :class:`SessionBatch`.
+    """
+
+    loop: str
+    segments: tuple[Any, ...]
+
+    def has_prepare(self) -> bool:
+        """Does any scalar segment carry a :class:`Prepare`?  (Recovery
+        purges unacked prepares exactly like the SessionBatch path.)"""
+        return any(isinstance(seg, Prepare) for seg in self.segments
+                   if type(seg) is not tuple)
+
+    def update_producers(self):
+        """Producer ids of every update in the frame — column runs and
+        inline fallback updates alike (fork-time in-flight scans)."""
+        producers = []
+        for seg in self.segments:
+            if type(seg) is tuple:
+                producers.extend(seg[0])
+            elif isinstance(seg, VertexUpdate):
+                producers.append(seg.producer)
+        return producers
+
+
+@dataclass(frozen=True, slots=True)
 class ReleasedUpdate:
     """Delta-path re-delivery wrapper for an update leaving the delay
     buffer.  The wrapper tells the dispatcher this message was already

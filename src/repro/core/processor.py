@@ -18,8 +18,8 @@ from typing import Any
 
 from repro.core.config import TornadoConfig
 from repro.core.lamport import LamportClock
-from repro.core.messages import (MAIN_LOOP, Acknowledge, Envelope,
-                                 ForkBranch, IterationTerminated,
+from repro.core.messages import (MAIN_LOOP, Acknowledge, ColumnBatch,
+                                 Envelope, ForkBranch, IterationTerminated,
                                  MergeBranch, MigrateDone, MigrateState,
                                  PeerRecovered, Prepare,
                                  ProcessorRecovered, ProgressReport,
@@ -30,10 +30,17 @@ from repro.core.partition import PartitionScheme
 from repro.core.protocol import (CommitUpdate, SendAck, SendPrepare,
                                  VertexProtocol)
 from repro.core.transport import ReliableEndpoint
-from repro.core.vertex import Application, Delta, VertexContext, VertexState
+from repro.core.vertex import (Application, Delta, VertexContext,
+                               VertexProgram, VertexState)
 from repro.simulator import Actor, Network, Simulator
 from repro.storage import (CheckpointManifest, StorageBackend,
                            VersionedStore)
+
+#: Wire-packable value types per declared VectorSpec dtype.  Strict
+#: ``type() is`` matching keeps bool out of the int64 column (bool is an
+#: int subclass) and numpy scalars out entirely, so the column runs stay
+#: numpy-free and pickle without the columnar dependency.
+WIRE_PACK_TYPES = {"float64": float, "bool": bool, "int64": int}
 
 
 class LoopState:
@@ -189,6 +196,34 @@ class Processor(Actor):
         self._m_scatter_stale = metrics.counter("core.scatter_stale_skipped")
         self._m_envelopes_saved = metrics.counter(
             "core.scatter_envelopes_saved")
+        # ------------------------------------------------- columnar wire
+        # With ``columnar_wire`` on, updates whose value type matches the
+        # program's declared VectorSpec dtype leave the window flush as
+        # typed column runs inside one ColumnBatch per destination;
+        # control messages and unconvertible values ride along inline in
+        # their original send order.  The receive side gathers column
+        # rows through a batched fast path whose effects — trace events,
+        # counter charges, virtual-time costs — are byte-identical to
+        # dispatching the equivalent SessionBatch (the digest oracle).
+        spec = getattr(app.program, "vector_spec", None)
+        self._wire_type = (WIRE_PACK_TYPES.get(spec.dtype)
+                           if spec is not None else None)
+        self._wire_pack = bool(config.columnar_wire and config.delta_path
+                               and self._wire_type is not None)
+        # The row fast path may skip the per-row gather_cost call only
+        # while the program keeps the base-class default (always None).
+        self._static_gather_cost = (type(app.program).gather_cost
+                                    is VertexProgram.gather_cost)
+        self._m_wire_batches = metrics.counter("core.wire_batches")
+        self._m_wire_rows = metrics.counter("core.wire_packed_rows")
+        self._m_wire_fallback = metrics.counter("core.wire_fallback")
+        self._m_wire_row_gathers = metrics.counter("core.wire_row_gathers")
+        # Session-window buffer pool (flush-path allocation churn): the
+        # window dict and its per-loop (entries, index) pairs are cleared
+        # and reused across flushes instead of reallocated per dispatch.
+        self._window_pool: list[tuple[list, dict]] = []
+        self._spare_window: dict | None = None
+        self._m_window_reuse = metrics.counter("core.window_reuse")
         # --------------------------------------------------- columnar path
         # With ``columnar`` on, programs that declare a vector spec swap
         # their slot reduction for the exact numpy kernel.  Protocol
@@ -255,6 +290,8 @@ class Processor(Actor):
             return self._handle_released(payload.update)
         if isinstance(payload, SessionBatch):
             return self._handle_session_batch(payload)
+        if isinstance(payload, ColumnBatch):
+            return self._handle_column_batch(payload)
         if isinstance(payload, Prepare):
             return self._handle_prepare(payload)
         if isinstance(payload, Acknowledge):
@@ -307,7 +344,8 @@ class Processor(Actor):
                 msg.processor,
                 predicate=lambda p: isinstance(p, Prepare)
                 or (isinstance(p, SessionBatch)
-                    and any(isinstance(q, Prepare) for q in p.payloads)))
+                    and any(isinstance(q, Prepare) for q in p.payloads))
+                or (isinstance(p, ColumnBatch) and p.has_prepare()))
         else:
             self.transport.purge_unacked(msg.processor, (Prepare,))
         for loop in self.loops.values():
@@ -550,7 +588,12 @@ class Processor(Actor):
     def _window_for(self, loop_name: str) -> tuple[list, dict]:
         window = self._session_window.get(loop_name)
         if window is None:
-            window = self._session_window[loop_name] = ([], {})
+            if self._window_pool:
+                window = self._window_pool.pop()
+                self._m_window_reuse.inc()
+            else:
+                window = ([], {})
+            self._session_window[loop_name] = window
         return window
 
     def _buffer_scatter(self, loop: LoopState, producer: Any, consumer: Any,
@@ -591,12 +634,22 @@ class Processor(Actor):
         owner mid-window — the message follows the vertex, it is never
         dropped), charge the sent-side termination counters post-merge,
         and ship one envelope per destination processor, preserving the
-        original send order within it."""
+        original send order within it.  With ``columnar_wire`` on,
+        packable updates are staged as raw row tuples and leave as typed
+        column runs inside a ColumnBatch; drained window buffers return
+        to the pool (clear-don't-recreate) instead of being reallocated.
+        """
         if not self._session_window:
             return 0.0
-        buffer, self._session_window = self._session_window, {}
+        buffer = self._session_window
+        self._session_window = (self._spare_window
+                                if self._spare_window is not None else {})
+        self._spare_window = None
+        pack = self._wire_pack
+        wire_type = self._wire_type
         cost = 0.0
-        for loop_name, (entries, _index) in buffer.items():
+        for loop_name, window in buffer.items():
+            entries, index = window
             loop = self.loops.get(loop_name)
             by_dst: dict[str, list[Any]] = {}
             updates = 0
@@ -609,8 +662,16 @@ class Processor(Actor):
                         loop.counter(iteration)[1] += 1
                     updates += 1
                     dst = self.partition.owner(consumer)
-                    payload: Any = VertexUpdate(loop_name, producer,
-                                                consumer, iteration, data)
+                    if pack and type(data) is wire_type:
+                        # Staged as a raw row; becomes a column run (or,
+                        # alone in its envelope, a plain VertexUpdate).
+                        payload: Any = (producer, consumer, iteration,
+                                        data)
+                    else:
+                        if pack:
+                            self._m_wire_fallback.inc()
+                        payload = VertexUpdate(loop_name, producer,
+                                               consumer, iteration, data)
                 elif kind == "prepare":
                     _kind, consumer, payload = entry
                     dst = self.partition.owner(consumer)
@@ -622,20 +683,58 @@ class Processor(Actor):
                 loop.sent_total += updates
             for dst, payloads in sorted(by_dst.items()):
                 if len(payloads) == 1:
-                    self.transport.send(dst, payloads[0], tag=loop_name)
+                    single = payloads[0]
+                    if type(single) is tuple:
+                        single = VertexUpdate(loop_name, *single)
+                    self.transport.send(dst, single, tag=loop_name)
                 else:
-                    self.transport.send(dst, SessionBatch(
-                        loop_name, tuple(payloads)), tag=loop_name)
-                    self._m_scatter_batches.inc()
-                    self._m_scatter_batched.inc(len(payloads))
-                    self._m_envelopes_saved.inc(len(payloads) - 1)
+                    self._send_batch(loop_name, dst, payloads)
                 cost += self.config.control_cost
             if self._trace.enabled:
                 self._trace.record(self.sim.now, "delta", "flush",
                                    actor=self.name, loop=loop_name,
                                    messages=len(entries), updates=updates,
                                    envelopes=len(by_dst))
+            entries.clear()
+            index.clear()
+            self._window_pool.append(window)
+        buffer.clear()
+        self._spare_window = buffer
         return cost
+
+    def _send_batch(self, loop_name: str, dst: str,
+                    payloads: list[Any]) -> None:
+        """Ship one multi-payload envelope: a SessionBatch, or — when the
+        window staged packable rows for this destination — a ColumnBatch
+        with consecutive rows zipped into parallel column runs (scalar
+        messages keep their original positions between runs)."""
+        if any(type(p) is tuple for p in payloads):
+            segments: list[Any] = []
+            run: list[tuple] = []
+            rows = 0
+            for payload in payloads:
+                if type(payload) is tuple:
+                    run.append(payload)
+                else:
+                    if run:
+                        segments.append(tuple(zip(*run)))
+                        rows += len(run)
+                        run = []
+                    segments.append(payload)
+            if run:
+                segments.append(tuple(zip(*run)))
+                rows += len(run)
+            self.transport.send(
+                dst, ColumnBatch(loop_name, tuple(segments)),
+                tag=loop_name)
+            self._m_wire_batches.inc()
+            self._m_wire_rows.inc(rows)
+        else:
+            self.transport.send(dst, SessionBatch(
+                loop_name, tuple(payloads)), tag=loop_name)
+        self._m_scatter_batches.inc()
+        self._m_scatter_batched.inc(len(payloads))
+        self._m_envelopes_saved.inc(len(payloads) - 1)
 
     def _handle_session_batch(self, msg: SessionBatch) -> float:
         """Unpack a batched envelope: each ride-along message goes
@@ -650,6 +749,153 @@ class Processor(Actor):
         cost = 0.0
         for payload in msg.payloads:
             cost += self._dispatch(payload)
+        return cost
+
+    def _handle_column_batch(self, msg: ColumnBatch) -> float:
+        """Unpack a columnar envelope.  Scalar segments go through the
+        exact single-message path; column runs go through the row fast
+        path, whose per-row effects (gates, counter charges, trace
+        events, virtual-time costs) are byte-identical to dispatching
+        the equivalent ``VertexUpdate`` objects — the digest oracle
+        holds with the gate on or off."""
+        if self._vector_kernel:
+            self._m_vector_windows.inc()
+        cost = 0.0
+        for seg in msg.segments:
+            if type(seg) is tuple:
+                cost += self._apply_rows(msg.loop, seg)
+            else:
+                cost += self._dispatch(seg)
+        return cost
+
+    def _apply_rows(self, loop_name: str, seg: tuple) -> float:
+        """Gather one column run without materialising per-row update
+        objects.  Rows that cannot take the fast path — no such loop
+        here, a mid-window owner flip, a migration fence or handoff in
+        progress, the delay bound, an in-flight delay-buffer release —
+        fall back to a scalar ``VertexUpdate`` dispatch, which replays
+        the exact single-message semantics (forwarding, buffering,
+        parking, orphaning)."""
+        producers, consumers, iterations, values = seg
+        loop = self.loops.get(loop_name)
+        cost = 0.0
+        if loop is None:
+            # Stopped loop, or rows racing their fork/recovery notice:
+            # the scalar path orphans them exactly as un-packed.
+            for i in range(len(producers)):
+                cost += self._dispatch(VertexUpdate(
+                    loop_name, producers[i], consumers[i], iterations[i],
+                    values[i]))
+            return cost
+        config = self.config
+        control = config.control_cost
+        # Hoisted row gates — all constant for the duration of one batch:
+        # the frontier only moves in _handle_terminated, migrations are
+        # only marked by the master between events, and the racing-
+        # handoff fence can only engage while the shared scheme already
+        # knows of in-flight moves (migrating_count() below).
+        mig = loop.is_main and bool(self._inbound
+                                    or self.partition.migrating_count())
+        blocked_at = loop.frontier + config.delay_bound - 1
+        released = loop.released_pairs
+        owner = self.partition.owner
+        me = self.name
+        vertices = loop.vertices
+        protocols = loop.protocols
+        combiner = self._combiner
+        program = self.app.program
+        gather = program.gather
+        trace = self._trace
+        is_main = loop.is_main
+        recent = loop.recent_gather_counts
+        counter = loop.counter
+        gather_cost_fn = (None if self._static_gather_cost
+                          else program.gather_cost)
+        default_cost = config.gather_cost
+        ctx: VertexContext | None = None
+        gathered = 0
+        stale_rows = 0
+        fast_rows = 0
+        for i in range(len(producers)):
+            consumer = consumers[i]
+            if mig or owner(consumer) != me:
+                # Owner flipped mid-window / fenced by a migration: the
+                # scalar path forwards or buffers per message.
+                cost += self._dispatch(VertexUpdate(
+                    loop_name, producers[i], consumer, iterations[i],
+                    values[i]))
+                continue
+            producer = producers[i]
+            it = iterations[i]
+            if it >= blocked_at or (released
+                                    and released.get((producer,
+                                                      consumer))):
+                # Parks in the delay buffer (or behind an in-flight
+                # release) exactly like the scalar path.
+                cost += self._dispatch(VertexUpdate(
+                    loop_name, producer, consumer, it, values[i]))
+                continue
+            fast_rows += 1
+            state = vertices.get(consumer)
+            if state is None:
+                state, protocol = self._ensure_vertex(loop, consumer)
+            else:
+                protocol = protocols[consumer]
+            if combiner is not None:
+                last = protocol.gathered_from.get(producer)
+                if last is not None and it < last:
+                    # Stale-update guard, batched tail accounting below.
+                    counter(it)[2] += 1
+                    stale_rows += 1
+                    if trace.enabled:
+                        trace.record(self.sim.now, "delta", "stale_skip",
+                                     actor=me, loop=loop_name,
+                                     iteration=it)
+                    cost += control
+                    continue
+                protocol.gathered_from[producer] = it
+            if ctx is None:
+                ctx = VertexContext(state, loop_name, protocol.iteration)
+            else:
+                # Scratch-context reuse: gather never emits (documented
+                # contract), so only the state and iteration views need
+                # refreshing row to row.
+                ctx._state = state
+                ctx.iteration = protocol.iteration
+            value = values[i]
+            changed = gather(ctx, producer, value)
+            protocol.gathered_update(producer, it, changed)
+            if is_main:
+                recent[consumer] = recent.get(consumer, 0) + 1
+            counter(it)[2] += 1
+            gathered += 1
+            if trace.enabled:
+                trace.record(self.sim.now, "protocol", "update",
+                             actor=me, loop=loop_name, iteration=it)
+            if gather_cost_fn is None:
+                g = default_cost
+            else:
+                g = gather_cost_fn(ctx, producer, value)
+                if g is None:
+                    g = default_cost
+            if (protocol.dirty and protocol.update_time is None
+                    and not protocol.prepare_list):
+                # Exactly when try_prepare would act (its early return
+                # fires iff not dirty, mid-prepare, or a non-empty
+                # prepare_list); quiet rows skip the call entirely.
+                g = g + self._try_prepare(loop, consumer)
+            cost += g
+        total = gathered + stale_rows
+        if total:
+            loop.gathered_total += total
+            self.total_updates_gathered += total
+            self._m_updates.inc(total)
+        if stale_rows:
+            self._m_scatter_stale.inc(stale_rows)
+        if gathered and self._vector_kernel:
+            self._m_vector_gathers.inc(gathered)
+        if fast_rows:
+            self._m_wire_row_gathers.inc(fast_rows)
         return cost
 
     # ------------------------------------------------------ prepare / ack
@@ -925,6 +1171,9 @@ class Processor(Actor):
                 inflight_producers.update(
                     ride.producer for ride in payload.payloads
                     if isinstance(ride, VertexUpdate))
+            elif isinstance(payload, ColumnBatch) \
+                    and payload.loop == MAIN_LOOP:
+                inflight_producers.update(payload.update_producers())
         cost = self.config.control_cost
         for vertex_id, state in main.vertices.items():
             if vertex_id in branch.vertices:
@@ -1261,8 +1510,11 @@ class Processor(Actor):
         self._migration_buffer = {}
         self._g_migrating.set(0)
         # Unsent window contents die with the crash, exactly like unsent
-        # legacy envelopes would; recovery re-scatters checkpoints.
+        # legacy envelopes would; recovery re-scatters checkpoints.  The
+        # buffer pool dies too — pooled buffers may alias pre-crash state.
         self._session_window = {}
+        self._spare_window = None
+        self._window_pool = []
 
     def on_recover(self) -> None:
         self.transport.send(self.master_name,

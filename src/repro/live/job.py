@@ -394,6 +394,14 @@ class LiveJob(TornadoJob):
         return sum(entry[index] for report in self.reports.values()
                    for _name, entry in report.loop_totals)
 
+    def wire_rows(self) -> int:
+        """Column rows packed or fast-gathered across all workers under
+        ``columnar_wire`` — the bench's proof the live regime engaged
+        (0 with the gate off)."""
+        if not self.reports:
+            self.finalize()
+        return sum(report.wire_rows for report in self.reports.values())
+
     def trace_phase_counts(self) -> dict[str, int]:
         """Protocol-phase totals merged across the master recorder and
         every worker's final report — the live side of the oracle."""

@@ -9,7 +9,11 @@ families travel on the queues:
   ``core/messages.py`` (usually a transport ``Envelope`` or
   ``TransportAck``) with its source, destination and the sender's Lamport
   stamp; the receiver merges the stamp into its own clock, which yields
-  the virtual ordering the flight recorder stamps events with.
+  the virtual ordering the flight recorder stamps events with.  With
+  ``TornadoConfig.columnar_wire`` on, the envelope's payload may be a
+  ``ColumnBatch`` — session updates as typed column runs of plain tuples
+  (the live sibling of ``StoreWrite.slabs``), still numpy-free so the
+  vocabulary pickles without the columnar dependency.
 * Control frames (:class:`StoreWrite`, :class:`FetchStore`,
   :class:`StoreLoad`, :class:`Collect`, :class:`FinalReport`,
   :class:`Shutdown`, :class:`WorkerError`) are handled by the master pump
@@ -93,6 +97,10 @@ class FinalReport:
     events_processed: int
     retransmissions: int
     trace_evicted: int
+    #: Column rows this worker packed (send) plus fast-gathered
+    #: (receive) under ``columnar_wire`` — the engagement signal the
+    #: wire bench asserts on (0 when the gate is off).
+    wire_rows: int = 0
 
 
 @dataclass(frozen=True, slots=True)

@@ -82,7 +82,8 @@ class TestQuickExperiments:
         assert "scale" in experiments
         assert "tenants" in experiments
         assert "placement" in experiments
-        assert len(experiments) == 25
+        assert "wire" in experiments
+        assert len(experiments) == 26
 
 
 class TestMergeBenchJson:
@@ -114,11 +115,39 @@ class TestMergeBenchJson:
     def test_missing_or_corrupt_file_starts_clean(self, tmp_path):
         path = str(tmp_path / "bench.json")
         payload = merge_bench_json(path, {"live": {"v": 1}})
-        assert payload == {"live": {"v": 1}}
+        assert payload == {"live": {"v": 1}, "bench": "merged"}
         with open(path, "w", encoding="utf-8") as handle:
             handle.write("{not json")
         payload = merge_bench_json(path, {"live": {"v": 2}})
-        assert payload == {"live": {"v": 2}}
+        assert payload == {"live": {"v": 2}, "bench": "merged"}
+
+    def test_root_is_neutral_with_per_section_provenance(self, tmp_path):
+        """The merged file must never masquerade as one writer's report:
+        the perf writer's root bench id moves to sections["perf"], each
+        section's own bench id is indexed by section name."""
+        path = str(tmp_path / "bench.json")
+        merge_bench_json(path, {"bench": "kernel_fast_path", "quick": False,
+                                "scenarios": {}}, replace_base=True)
+        payload = merge_bench_json(
+            path, {"wire": {"bench": "columnar_wire", "speedup": 2.0}})
+        assert payload["bench"] == "merged"
+        assert payload["sections"]["perf"] == "kernel_fast_path"
+        assert payload["sections"]["wire"] == "columnar_wire"
+        assert payload["quick"] is False  # perf's top level survives
+
+    def test_provenance_survives_base_replacement(self, tmp_path):
+        """Re-running the perf writer keeps the sibling sections *and*
+        their recorded provenance."""
+        path = str(tmp_path / "bench.json")
+        merge_bench_json(path, {"delta": {"bench": "delta_path"}})
+        merge_bench_json(path, {"bench": "kernel_fast_path"},
+                         replace_base=True)
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["bench"] == "merged"
+        assert data["sections"] == {"perf": "kernel_fast_path",
+                                    "delta": "delta_path"}
+        assert data["delta"] == {"bench": "delta_path"}
 
     def test_output_is_deterministic(self, tmp_path):
         a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")

@@ -56,6 +56,17 @@ RULES = [
 ]
 
 
+#: Wire-path modules that must never import numpy at all — not even
+#: lazily.  The ColumnBatch vocabulary and its pack/unpack stages stage
+#: plain tuples precisely so every live-wire envelope pickles without
+#: the columnar dependency; a lazy import here is how an ndarray column
+#: would sneak into a pickled frame unnoticed.
+NUMPY_FREE_FILES = ("core/messages.py", "core/processor.py",
+                    "live/wire.py")
+NUMPY_IMPORT = re.compile(r"^\s*(import\s+numpy\b|from\s+numpy\b)",
+                          re.MULTILINE)
+
+
 def _package_of(path: pathlib.Path) -> str:
     return path.relative_to(SRC).parts[0]
 
@@ -97,6 +108,26 @@ class TestNondeterminismLint:
         assert RULES[5][0].search("from numpy import float64\n")
         # Lazy (function-level) imports are the sanctioned escape hatch.
         assert not RULES[5][0].search("    import numpy as np\n")
+
+
+class TestWireStaysNumpyFree:
+    def test_wire_vocabulary_never_imports_numpy(self):
+        """Stricter than the top-level-import rule: the ColumnBatch
+        vocabulary and its pack/unpack seams may not import numpy even
+        lazily — column runs are plain tuples end to end."""
+        found = []
+        for rel in NUMPY_FREE_FILES:
+            text = (SRC / rel).read_text()
+            for match in NUMPY_IMPORT.finditer(text):
+                line = text.count("\n", 0, match.start()) + 1
+                found.append(f"{rel}:{line}: {match.group(0).strip()!r}")
+        assert not found, "numpy on the wire path:\n" + "\n".join(found)
+
+    def test_wire_lint_actually_bites(self):
+        assert NUMPY_IMPORT.search("import numpy as np\n")
+        assert NUMPY_IMPORT.search("    from numpy import float64\n")
+        # Prose may say "numpy-free"; only import statements are banned.
+        assert not NUMPY_IMPORT.search("# stays numpy-free\n")
 
 
 DIGEST_SCRIPT = """

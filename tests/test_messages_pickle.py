@@ -24,8 +24,8 @@ from repro.algorithms.sssp import SSSPProgram, SSSPValue
 from repro.core import Application, TornadoConfig
 from repro.core import messages as messages_mod
 from repro.core.lamport import Timestamp
-from repro.core.messages import (Acknowledge, BranchDone, Envelope,
-                                 ForkBranch, IterationTerminated,
+from repro.core.messages import (Acknowledge, BranchDone, ColumnBatch,
+                                 Envelope, ForkBranch, IterationTerminated,
                                  MergeBranch, MigrateDone, MigrateState,
                                  PauseIngest, PeerRecovered, Prepare,
                                  ProcessorRecovered, ProgressReport,
@@ -49,6 +49,13 @@ VOCABULARY = [
     VertexInput("main", "u", ADD_EDGE, ("u", "v", 1.5), weight=1),
     UPDATE,
     SessionBatch("main", (UPDATE, PREPARE, ACK)),
+    # Columnar wire frame: a column run (4 parallel tuples), a scalar
+    # control message at its original position, then a second run and a
+    # fallback per-vertex update — the full segment grammar.
+    ColumnBatch("main", ((("u", "w"), ("v", "x"), (4, 4), (2.5, 3.5)),
+                         PREPARE,
+                         (("u",), ("y",), (5,), (1.0,)),
+                         UPDATE)),
     ReleasedUpdate(UPDATE),
     PREPARE,
     ACK,
